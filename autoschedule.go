@@ -1,0 +1,36 @@
+package distal
+
+import "fmt"
+
+// AutoSchedule derives a distribution schedule automatically, a first cut
+// of the auto-scheduling direction the paper lists as future work (§9). The
+// heuristic is owner-computes: the output tensor's index variables are
+// tiled over the machine grid (one per grid dimension, in order) and every
+// tensor's communication is aggregated at the task level. For computations
+// whose data distributions align with the output tiling (TTV, TTM,
+// element-wise kernels) this yields communication-free schedules; for
+// contractions it yields a broadcast-style schedule comparable to SUMMA
+// with one sequential step.
+//
+// AutoSchedule must be called before any manual scheduling command and
+// returns an error if the output has fewer index variables than the machine
+// has grid dimensions.
+func (c *Computation) AutoSchedule() error {
+	grid := c.Machine.M.LeafGrid().Dims
+	lhs := c.Stmt.LHS.Indices
+	if len(lhs) < len(grid) {
+		return fmt.Errorf("distal: AutoSchedule needs >= %d output variables, statement has %d",
+			len(grid), len(lhs))
+	}
+	var dist, local []string
+	for d := range grid {
+		v := lhs[d].Name
+		dist = append(dist, v+"_o")
+		local = append(local, v+"_i")
+		c.sched.Divide(v, v+"_o", v+"_i", grid[d])
+	}
+	c.sched.Reorder(append(append([]string{}, dist...), local...)...)
+	c.sched.Distribute(dist...)
+	c.sched.Communicate(dist[len(dist)-1], c.Stmt.TensorNames()...)
+	return c.sched.Err()
+}

@@ -1,0 +1,72 @@
+package distal
+
+import (
+	"testing"
+
+	"distal/internal/ir"
+	"distal/internal/tensor"
+)
+
+func autoRun(t *testing.T, comp *Computation) *Result {
+	t.Helper()
+	if err := comp.AutoSchedule(); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := comp.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Run(LassenCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestAutoScheduleGEMMCorrect(t *testing.T) {
+	const n = 12
+	m := NewMachine(CPU, 2, 2)
+	f := Tiled(2)
+	A := NewTensor("A", f, n, n).Zero()
+	B := NewTensor("B", f, n, n).FillRandom(1)
+	C := NewTensor("C", f, n, n).FillRandom(2)
+	comp := MustDefine("A(i,j) = B(i,k) * C(k,j)", m, A, B, C)
+	autoRun(t, comp)
+	want, err := ir.Evaluate(comp.Stmt, map[string]*tensor.Dense{"B": B.Data, "C": C.Data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !A.Data.EqualWithin(want, 1e-9) {
+		t.Fatal("auto-scheduled GEMM wrong")
+	}
+}
+
+func TestAutoScheduleAlignedTTVIsCommFree(t *testing.T) {
+	m := NewMachine(CPU, 2, 2)
+	A := NewTensor("A", Tiled(2), 8, 8).Zero()
+	B := NewTensor("B", MustFormat("xyz->xy"), 8, 8, 4).FillRandom(1)
+	c := NewTensor("c", MustFormat("x->**"), 4).FillRandom(2)
+	comp := MustDefine("A(i,j) = B(i,j,k) * c(k)", m, A, B, c)
+	res := autoRun(t, comp)
+	if res.Copies != 0 {
+		t.Fatalf("aligned TTV should be communication-free, got %d copies", res.Copies)
+	}
+	want, err := ir.Evaluate(comp.Stmt, map[string]*tensor.Dense{"B": B.Data, "c": c.Data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !A.Data.EqualWithin(want, 1e-9) {
+		t.Fatal("auto-scheduled TTV wrong")
+	}
+}
+
+func TestAutoScheduleRejectsLowRankOutput(t *testing.T) {
+	m := NewMachine(CPU, 2, 2)
+	a := NewTensor("a", MustFormat("x->00"), 1).Zero()
+	B := NewTensor("B", MustFormat("xyz->xy"), 4, 4, 4).FillRandom(1)
+	C := NewTensor("C", MustFormat("xyz->xy"), 4, 4, 4).FillRandom(2)
+	comp := MustDefine("a = B(i,j,k) * C(i,j,k)", m, a, B, C)
+	if err := comp.AutoSchedule(); err == nil {
+		t.Fatal("scalar output on a 2-D machine should be rejected")
+	}
+}

@@ -1,0 +1,106 @@
+// Command distal-bench regenerates the DISTAL paper's evaluation figures on
+// the simulated Lassen machine and prints them as text tables.
+//
+// Usage:
+//
+//	distal-bench -exp all           # every figure (default)
+//	distal-bench -exp fig15a        # CPU matmul weak scaling
+//	distal-bench -exp fig15b       	# GPU matmul weak scaling
+//	distal-bench -exp fig16         # all four higher-order kernels, CPU+GPU
+//	distal-bench -exp fig9          # algorithm verification table
+//	distal-bench -exp summary       # headline speedups (§1/§7)
+//	distal-bench -nodes 256         # maximum node count (power of two)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"distal/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, fig15a, fig15b, fig16, fig9, summary")
+	nodes := flag.Int("nodes", 256, "maximum node count (power of two)")
+	flag.Parse()
+
+	if err := run(*exp, *nodes); err != nil {
+		fmt.Fprintln(os.Stderr, "distal-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, nodes int) error {
+	switch exp {
+	case "fig15a":
+		return showFig(experiments.Fig15a(nodes))
+	case "fig15b":
+		return showFig(experiments.Fig15b(nodes))
+	case "fig16":
+		return fig16(nodes)
+	case "fig9":
+		rows, err := experiments.Fig9Table(64, 16384)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderFig9(rows))
+		return nil
+	case "summary":
+		_, text, err := experiments.Summary(nodes)
+		if err != nil {
+			return err
+		}
+		fmt.Println(text)
+		return nil
+	case "all":
+		if err := showFig(experiments.Fig15a(nodes)); err != nil {
+			return err
+		}
+		if err := showFig(experiments.Fig15b(nodes)); err != nil {
+			return err
+		}
+		if err := fig16(nodes); err != nil {
+			return err
+		}
+		rows, err := experiments.Fig9Table(64, 16384)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderFig9(rows))
+		_, text, err := experiments.Summary(min(nodes, 64))
+		if err != nil {
+			return err
+		}
+		fmt.Println(text)
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}
+
+func fig16(nodes int) error {
+	for _, k := range experiments.HigherKernels {
+		for _, gpu := range []bool{false, true} {
+			if err := showFig(experiments.Fig16(k, gpu, nodes)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func showFig(f *experiments.Figure, err error) error {
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.Render(f))
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

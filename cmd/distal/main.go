@@ -1,0 +1,186 @@
+// Command distal compiles a distributed tensor algebra algorithm and shows
+// what the compiler produces: the concrete index notation of the scheduled
+// statement, the generated Legion program, and (optionally) a simulated
+// execution on the Lassen cost model.
+//
+// Usage:
+//
+//	distal -alg summa -n 64 -procs 4            # print the generated program
+//	distal -alg cannon -n 64 -procs 9 -trace    # show the copy trace
+//	distal -alg johnson -n 4096 -procs 8 -sim   # simulate at size
+//	distal -expr "A(i,j) = B(i,j,k) * c(k)" -sim # arbitrary expression, auto-scheduled
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"distal/internal/algorithms"
+	"distal/internal/cin"
+	"distal/internal/codegen"
+	"distal/internal/core"
+	"distal/internal/distnot"
+	"distal/internal/ir"
+	"distal/internal/legion"
+	"distal/internal/schedule"
+	"distal/internal/sim"
+)
+
+func main() {
+	alg := flag.String("alg", "summa", "algorithm: cannon, pumma, summa, johnson, solomonik, cosma")
+	expr := flag.String("expr", "", "arbitrary tensor index notation statement (auto-scheduled; overrides -alg), e.g. \"A(i,j) = B(i,j,k) * c(k)\"")
+	n := flag.Int("n", 64, "square matrix / tensor mode dimension")
+	procs := flag.Int("procs", 4, "processor count")
+	gpu := flag.Bool("gpu", false, "GPU machine (4 per node)")
+	simulate := flag.Bool("sim", false, "simulate execution and print statistics")
+	trace := flag.Bool("trace", false, "print the communication trace")
+	maxPoints := flag.Int("points", 4, "task points to list per launch (0 = all)")
+	flag.Parse()
+
+	if err := run(*alg, *expr, *n, *procs, *gpu, *simulate, *trace, *maxPoints); err != nil {
+		fmt.Fprintln(os.Stderr, "distal:", err)
+		os.Exit(1)
+	}
+}
+
+func run(alg, expr string, n, procs int, gpu, simulate, trace bool, maxPoints int) error {
+	var in core.Input
+	var err error
+	if expr != "" {
+		in, err = exprInput(expr, n, procs, gpu)
+	} else {
+		cfg := algorithms.MatmulConfig{N: n, Procs: procs, GPU: gpu}
+		if gpu {
+			cfg.ProcsPerNode = 4
+		}
+		in, err = algorithms.Matmul(algorithms.Alg(alg), cfg)
+	}
+	if err != nil {
+		return err
+	}
+	return show(in, gpu, simulate, trace, maxPoints)
+}
+
+// exprInput builds a compilation input for an arbitrary statement: every
+// mode has extent n, tensors are tiled over a 1-D machine by their first
+// mode, and the schedule tiles the output's first index variable
+// (owner-computes, the AutoSchedule heuristic).
+func exprInput(expr string, n, procs int, gpu bool) (core.Input, error) {
+	stmt, err := ir.Parse(expr)
+	if err != nil {
+		return core.Input{}, err
+	}
+	cfg := algorithms.MatmulConfig{Procs: procs, GPU: gpu}
+	if gpu {
+		cfg.ProcsPerNode = 4
+	}
+	m := cfg.MachineFor(procs)
+	names := "xyzwuv"
+	decls := map[string]*core.TensorDecl{}
+	shapes := map[string][]int{}
+	addDecl := func(a *ir.Access) error {
+		if _, ok := decls[a.Tensor]; ok {
+			return nil
+		}
+		rank := len(a.Indices)
+		shape := make([]int, rank)
+		for d := range shape {
+			shape[d] = n
+		}
+		if rank == 0 {
+			shape = []int{1}
+			rank = 1
+		}
+		// Partition the first mode across the 1-D machine; remaining modes
+		// span fully.
+		stmtSrc := names[:rank] + "->" + names[:1]
+		p, err := distnot.ParsePlacement(stmtSrc)
+		if err != nil {
+			return err
+		}
+		decls[a.Tensor] = &core.TensorDecl{Name: a.Tensor, Shape: shape, Placement: p}
+		shapes[a.Tensor] = shape
+		return nil
+	}
+	if err := addDecl(stmt.LHS); err != nil {
+		return core.Input{}, err
+	}
+	for _, a := range stmt.RHS.Accesses(nil) {
+		if err := addDecl(a); err != nil {
+			return core.Input{}, err
+		}
+	}
+	if err := stmt.Validate(shapes); err != nil {
+		return core.Input{}, err
+	}
+	if len(stmt.LHS.Indices) == 0 {
+		return core.Input{}, fmt.Errorf("scalar outputs are not supported by -expr; use the library API")
+	}
+	v := stmt.LHS.Indices[0].Name
+	s := schedule.New(stmt).
+		Divide(v, v+"_o", v+"_i", procs)
+	order := []string{v + "_o", v + "_i"}
+	for _, ov := range stmt.Vars() {
+		if ov.Name != v {
+			order = append(order, ov.Name)
+		}
+	}
+	s.Reorder(order...).Distribute(v+"_o").Communicate(v+"_o", stmt.TensorNames()...)
+	if err := s.Err(); err != nil {
+		return core.Input{}, err
+	}
+	return core.Input{Stmt: stmt, Machine: m, Tensors: decls, Schedule: s}, nil
+}
+
+func show(in core.Input, gpu, simulate, trace bool, maxPoints int) error {
+	fmt.Println("=== concrete index notation ===")
+	fmt.Println(cin.Build(in.Schedule))
+	fmt.Println()
+	prog, err := core.Compile(in)
+	if err != nil {
+		return err
+	}
+	fmt.Println("=== generated program ===")
+	fmt.Print(codegen.Program(prog, maxPoints))
+
+	if !simulate && !trace {
+		return nil
+	}
+	params := sim.LassenCPU()
+	if gpu {
+		params = sim.LassenGPU()
+	}
+	res, err := legion.Run(prog, legion.Options{Params: params, Trace: trace})
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Println("=== simulated execution ===")
+	fmt.Printf("time          %.6f s\n", res.Time)
+	fmt.Printf("throughput    %.1f GFLOP/s\n", res.GFlopsPerSec())
+	fmt.Printf("inter-node    %.3f GB\n", float64(res.InterBytes)/1e9)
+	fmt.Printf("intra-node    %.3f GB\n", float64(res.IntraBytes)/1e9)
+	fmt.Printf("copies        %d\n", res.Copies)
+	fmt.Printf("peak memory   %.3f GB per processor\n", float64(res.PeakMemBytes)/1e9)
+	if res.OOM {
+		fmt.Printf("OOM           processor %d exceeded its memory capacity\n", res.OOMLeaf)
+	}
+	if trace {
+		fmt.Println()
+		fmt.Println("=== copy trace ===")
+		legion.SortTrace(res.Trace)
+		limit := len(res.Trace)
+		if limit > 40 {
+			limit = 40
+		}
+		for _, c := range res.Trace[:limit] {
+			fmt.Printf("[%.6f, %.6f] %s %s %s: proc %d -> proc %d\n",
+				c.Start, c.End, c.Launch, c.Region, c.Rect, c.Src, c.Dst)
+		}
+		if len(res.Trace) > limit {
+			fmt.Printf("... %d more copies\n", len(res.Trace)-limit)
+		}
+	}
+	return nil
+}

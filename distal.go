@@ -1,0 +1,348 @@
+// Package distal is a Go implementation of DISTAL, the distributed tensor
+// algebra compiler of Yadav, Aiken, and Kjolstad (PLDI 2022). It compiles
+// tensor index notation statements — together with independent
+// specifications of how data (tensor distribution notation) and computation
+// (a scheduling language) map onto a target machine — into programs for a
+// Legion-like distributed task-based runtime, and executes them either on
+// real data (for validation) or on a simulated supercomputer (for the
+// paper's performance experiments).
+//
+// The API mirrors Figure 2 of the paper:
+//
+//	m := distal.NewMachine(distal.CPU, gx, gy)
+//	f := distal.Tiled(m)                              // xy -> xy
+//	A := distal.NewTensor("A", f, n, n)
+//	B := distal.NewTensor("B", f, n, n)
+//	C := distal.NewTensor("C", f, n, n)
+//	comp, _ := distal.Define("A(i,j) = B(i,k) * C(k,j)", m, A, B, C)
+//	comp.Schedule().
+//	    DistributeOnto([]string{"i","j"}, []string{"io","jo"}, []string{"ii","ji"}).
+//	    Split("k", "ko", "ki", 256).
+//	    Reorder("ko", "ii", "ji", "ki").
+//	    Communicate("jo", "A").
+//	    Communicate("ko", "B", "C")
+//	prog, _ := comp.Compile()
+//	res, _ := prog.Simulate(distal.LassenCPU())       // or prog.Run() on real data
+package distal
+
+import (
+	"fmt"
+
+	"distal/internal/core"
+	"distal/internal/distnot"
+	"distal/internal/ir"
+	"distal/internal/legion"
+	"distal/internal/machine"
+	"distal/internal/schedule"
+	"distal/internal/sim"
+	"distal/internal/tensor"
+)
+
+// ProcessorKind selects what kind of leaf processor a machine is built from.
+type ProcessorKind int
+
+const (
+	// CPU processors keep data in system memory.
+	CPU ProcessorKind = iota
+	// GPU processors keep data in framebuffer memory and communicate over
+	// NVLink within a node.
+	GPU
+)
+
+// Machine is a target machine: a grid of abstract processors (§3.1).
+type Machine struct {
+	M *machine.Machine
+}
+
+// NewMachine builds a flat machine: a grid of CPU sockets or GPUs.
+func NewMachine(kind ProcessorKind, dims ...int) *Machine {
+	mem, proc := machine.SysMem, machine.CPU
+	if kind == GPU {
+		mem, proc = machine.GPUFBMem, machine.GPU
+	}
+	return &Machine{M: machine.New(machine.NewGrid(dims...), mem, proc)}
+}
+
+// WithProcsPerNode declares that consecutive processors share a physical
+// node in groups of n (e.g. 4 GPUs per Lassen node); it affects which links
+// communication uses.
+func (m *Machine) WithProcsPerNode(n int) *Machine {
+	return &Machine{M: m.M.WithProcsPerNode(n)}
+}
+
+// Grid returns the machine's grid dimensions.
+func (m *Machine) Grid() []int { return m.M.Grid.Dims }
+
+// Processors returns the total number of leaf processors.
+func (m *Machine) Processors() int { return m.M.LeafCount() }
+
+// Format describes how a tensor is stored and distributed (§3.2): the
+// tensor's distribution onto the machine, expressed in tensor distribution
+// notation.
+type Format struct {
+	Placement *distnot.Placement
+}
+
+// ParseFormat parses tensor distribution notation, e.g. "xy->xy" (tiles),
+// "xy->x" (rows), "xy->xy0" (fixed to a face), "xy->xy*" (replicated along
+// a dimension), with ";" separating hierarchy levels.
+func ParseFormat(src string) (Format, error) {
+	p, err := distnot.ParsePlacement(src)
+	if err != nil {
+		return Format{}, err
+	}
+	return Format{Placement: p}, nil
+}
+
+// MustFormat is ParseFormat but panics on error.
+func MustFormat(src string) Format {
+	f, err := ParseFormat(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Tiled returns the canonical blocked tiling of a rank-r tensor over a
+// rank-r machine (T x1..xr -> x1..xr M).
+func Tiled(rank int) Format {
+	names := []string{"x", "y", "z", "w", "u", "v"}
+	if rank > len(names) {
+		panic("distal: Tiled supports tensors up to rank 6")
+	}
+	s := &distnot.Statement{}
+	for d := 0; d < rank; d++ {
+		s.TensorDims = append(s.TensorDims, names[d])
+		s.MachineDims = append(s.MachineDims, distnot.MachineName{Kind: distnot.Dim, Var: names[d]})
+	}
+	return Format{Placement: distnot.NewPlacement(s)}
+}
+
+// Tensor declares a dense tensor with a format. Data is allocated lazily by
+// Bind or Fill*.
+type Tensor struct {
+	Name   string
+	Shape  []int
+	Format Format
+	Data   *tensor.Dense
+}
+
+// NewTensor declares a tensor; a scalar is declared with shape (1).
+func NewTensor(name string, f Format, shape ...int) *Tensor {
+	return &Tensor{Name: name, Shape: append([]int(nil), shape...), Format: f}
+}
+
+// Bind attaches real data for validated execution.
+func (t *Tensor) Bind(d *tensor.Dense) *Tensor {
+	t.Data = d
+	return t
+}
+
+// FillRandom allocates data and fills it deterministically from seed.
+func (t *Tensor) FillRandom(seed int64) *Tensor {
+	t.Data = tensor.New(t.Name, t.Shape...)
+	t.Data.FillRandom(seed)
+	return t
+}
+
+// Zero allocates zeroed data (the usual state for outputs).
+func (t *Tensor) Zero() *Tensor {
+	t.Data = tensor.New(t.Name, t.Shape...)
+	return t
+}
+
+// Computation is a tensor index notation statement bound to concrete
+// tensors and a machine.
+type Computation struct {
+	Stmt    *ir.Assignment
+	Machine *Machine
+	tensors map[string]*Tensor
+	sched   *schedule.Schedule
+}
+
+// Define parses the statement and binds the named tensors, validating
+// shapes. Every tensor named in the expression must be provided.
+func Define(expr string, m *Machine, tensors ...*Tensor) (*Computation, error) {
+	stmt, err := ir.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	byName := map[string]*Tensor{}
+	for _, t := range tensors {
+		byName[t.Name] = t
+	}
+	shapes := map[string][]int{}
+	for _, name := range stmt.TensorNames() {
+		t, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("distal: expression references tensor %s, which was not provided", name)
+		}
+		shapes[name] = t.Shape
+	}
+	if err := stmt.Validate(shapes); err != nil {
+		return nil, err
+	}
+	return &Computation{
+		Stmt:    stmt,
+		Machine: m,
+		tensors: byName,
+		sched:   schedule.New(stmt),
+	}, nil
+}
+
+// MustDefine is Define but panics on error.
+func MustDefine(expr string, m *Machine, tensors ...*Tensor) *Computation {
+	c, err := Define(expr, m, tensors...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Schedule returns the computation's schedule for fluent transformation.
+func (c *Computation) Schedule() *Sched { return &Sched{c: c} }
+
+// TensorData returns the bound data of the named tensor, or nil.
+func (c *Computation) TensorData(name string) *tensor.Dense {
+	if t, ok := c.tensors[name]; ok {
+		return t.Data
+	}
+	return nil
+}
+
+// Sched is the fluent scheduling interface (§3.3). All commands delegate to
+// the underlying scheduling language; errors are sticky and surface at
+// Compile.
+type Sched struct {
+	c *Computation
+}
+
+// Divide breaks loop i into c pieces (outer ranges over pieces).
+func (s *Sched) Divide(i, outer, inner string, c int) *Sched {
+	s.c.sched.Divide(i, outer, inner, c)
+	return s
+}
+
+// Split breaks loop i into chunks of the given size.
+func (s *Sched) Split(i, outer, inner string, size int) *Sched {
+	s.c.sched.Split(i, outer, inner, size)
+	return s
+}
+
+// Reorder rearranges the listed loops into the given relative order.
+func (s *Sched) Reorder(vars ...string) *Sched {
+	s.c.sched.Reorder(vars...)
+	return s
+}
+
+// Collapse fuses two directly nested loops.
+func (s *Sched) Collapse(i, j, f string) *Sched {
+	s.c.sched.Collapse(i, j, f)
+	return s
+}
+
+// Distribute maps the given (outermost) loops onto the machine grid.
+func (s *Sched) Distribute(vars ...string) *Sched {
+	s.c.sched.Distribute(vars...)
+	return s
+}
+
+// DistributeOnto is the compound tile-and-distribute command of §3.3, using
+// the computation's machine grid extents.
+func (s *Sched) DistributeOnto(targets, dist, local []string) *Sched {
+	s.c.sched.DistributeOnto(targets, dist, local, s.c.Machine.M.LeafGrid().Dims)
+	return s
+}
+
+// Rotate replaces loop t with r where t = (r + sum(offsets)) mod extent(t),
+// producing systolic communication.
+func (s *Sched) Rotate(t string, offsets []string, r string) *Sched {
+	s.c.sched.Rotate(t, offsets, r)
+	return s
+}
+
+// Communicate aggregates the tensors' communication at loop v.
+func (s *Sched) Communicate(v string, tensors ...string) *Sched {
+	s.c.sched.Communicate(v, tensors...)
+	return s
+}
+
+// Parallelize marks a leaf loop as thread-parallel.
+func (s *Sched) Parallelize(v string) *Sched {
+	s.c.sched.Parallelize(v)
+	return s
+}
+
+// Substitute declares the innermost loops are implemented by an optimized
+// leaf kernel.
+func (s *Sched) Substitute(vars []string, kernel string) *Sched {
+	s.c.sched.Substitute(vars, kernel)
+	return s
+}
+
+// Err returns the first scheduling error, if any.
+func (s *Sched) Err() error { return s.c.sched.Err() }
+
+// Program is a compiled computation ready to execute.
+type Program struct {
+	P *legion.Program
+	c *Computation
+}
+
+// Compile lowers the computation to a Legion program.
+func (c *Computation) Compile() (*Program, error) {
+	decls := map[string]*core.TensorDecl{}
+	for _, name := range c.Stmt.TensorNames() {
+		t := c.tensors[name]
+		decls[name] = &core.TensorDecl{
+			Name:      name,
+			Shape:     t.Shape,
+			Placement: t.Format.Placement,
+			Data:      t.Data,
+		}
+	}
+	p, err := core.Compile(core.Input{
+		Stmt:     c.Stmt,
+		Machine:  c.Machine.M,
+		Tensors:  decls,
+		Schedule: c.sched,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Program{P: p, c: c}, nil
+}
+
+// Result re-exports the runtime's execution summary.
+type Result = legion.Result
+
+// Params re-exports the simulator cost model.
+type Params = sim.Params
+
+// LassenCPU returns the per-socket CPU cost model of the paper's testbed
+// (each Lassen node has two sockets; DISTAL reserves cores for the
+// runtime).
+func LassenCPU() Params { return sim.LassenCPU() }
+
+// LassenGPU returns the per-GPU cost model of the paper's testbed.
+func LassenGPU() Params { return sim.LassenGPU() }
+
+// Run executes the program on real data (every tensor must have Data bound)
+// and also returns the simulated timing under params.
+func (p *Program) Run(params Params) (*Result, error) {
+	return legion.Run(p.P, legion.Options{Params: params, Real: true})
+}
+
+// Simulate executes the program's task graph without data, returning
+// simulated time, communication, and memory statistics.
+func (p *Program) Simulate(params Params) (*Result, error) {
+	return legion.Run(p.P, legion.Options{Params: params})
+}
+
+// SimulateOpts executes with full control over runtime options.
+func (p *Program) SimulateOpts(opt legion.Options) (*Result, error) {
+	return legion.Run(p.P, opt)
+}
+
+// Output returns the output tensor (after Run, it holds the result).
+func (p *Program) Output() *Tensor { return p.c.tensors[p.c.Stmt.LHS.Tensor] }

@@ -1,0 +1,124 @@
+package distal
+
+import (
+	"testing"
+
+	"distal/internal/ir"
+	"distal/internal/tensor"
+)
+
+// TestFigure2Quickstart reproduces the paper's Figure 2 program (SUMMA on a
+// processor grid) through the public API and validates the result.
+func TestFigure2Quickstart(t *testing.T) {
+	const n, gx, gy = 8, 2, 2
+	m := NewMachine(CPU, gx, gy)
+	f := Tiled(2)
+	A := NewTensor("A", f, n, n).Zero()
+	B := NewTensor("B", f, n, n).FillRandom(1)
+	C := NewTensor("C", f, n, n).FillRandom(2)
+	comp := MustDefine("A(i,j) = B(i,k) * C(k,j)", m, A, B, C)
+	comp.Schedule().
+		Divide("i", "io", "ii", gx).Divide("j", "jo", "ji", gy).
+		Reorder("io", "jo", "ii", "ji").
+		Distribute("io", "jo").
+		Split("k", "ko", "ki", 4).
+		Reorder("io", "jo", "ko", "ii", "ji", "ki").
+		Communicate("jo", "A").
+		Communicate("ko", "B", "C").
+		Substitute([]string{"ii", "ji", "ki"}, "BLAS.GEMM")
+	prog, err := comp.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Run(LassenCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ir.Evaluate(comp.Stmt, map[string]*tensor.Dense{"B": B.Data, "C": C.Data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prog.Output().Data.EqualWithin(want, 1e-9) {
+		t.Fatal("Figure 2 program produced a wrong product")
+	}
+	if res.Flops != 2*n*n*n {
+		t.Fatalf("flops = %v, want %v", res.Flops, 2*n*n*n)
+	}
+}
+
+func TestDefineErrors(t *testing.T) {
+	m := NewMachine(CPU, 2)
+	if _, err := Define("A(i) = B(i", m); err == nil {
+		t.Fatal("parse error should surface")
+	}
+	A := NewTensor("A", MustFormat("x->x"), 4)
+	if _, err := Define("A(i) = B(i)", m, A); err == nil {
+		t.Fatal("missing tensor should surface")
+	}
+	B := NewTensor("B", MustFormat("x->x"), 5)
+	if _, err := Define("A(i) = B(i)", m, A, B); err == nil {
+		t.Fatal("shape mismatch should surface")
+	}
+}
+
+func TestScheduleErrorSurfacesAtCompile(t *testing.T) {
+	m := NewMachine(CPU, 2)
+	f := MustFormat("x->x")
+	A := NewTensor("A", f, 4).Zero()
+	B := NewTensor("B", f, 4).FillRandom(1)
+	comp := MustDefine("A(i) = B(i)", m, A, B)
+	comp.Schedule().Divide("nope", "a", "b", 2)
+	if _, err := comp.Compile(); err == nil {
+		t.Fatal("schedule error should surface at Compile")
+	}
+}
+
+func TestSimulateWithoutData(t *testing.T) {
+	m := NewMachine(CPU, 4)
+	f := MustFormat("xy->x")
+	A := NewTensor("A", f, 1024, 1024)
+	B := NewTensor("B", f, 1024, 1024)
+	comp := MustDefine("A(i,j) = B(i,j)", m, A, B)
+	comp.Schedule().
+		Divide("i", "io", "ii", 4).
+		Reorder("io", "ii", "j").
+		Distribute("io").
+		Communicate("io", "A", "B")
+	prog, err := comp.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Simulate(LassenCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Copies != 0 {
+		t.Fatalf("aligned copy kernel should not communicate, got %d", res.Copies)
+	}
+	if res.Time <= 0 {
+		t.Fatal("expected positive simulated time")
+	}
+}
+
+func TestMachineAccessors(t *testing.T) {
+	m := NewMachine(GPU, 4, 4).WithProcsPerNode(4)
+	if m.Processors() != 16 {
+		t.Fatalf("processors = %d", m.Processors())
+	}
+	if m.M.Nodes() != 4 {
+		t.Fatalf("nodes = %d", m.M.Nodes())
+	}
+	g := m.Grid()
+	if len(g) != 2 || g[0] != 4 {
+		t.Fatalf("grid = %v", g)
+	}
+}
+
+func TestTiledFormatRanks(t *testing.T) {
+	for rank := 1; rank <= 4; rank++ {
+		f := Tiled(rank)
+		if got := len(f.Placement.Levels[0].TensorDims); got != rank {
+			t.Fatalf("Tiled(%d) has %d dims", rank, got)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package cin implements concrete index notation (§5.1, Fig. 14 of the
+// DISTAL paper): a lower-level IR than tensor index notation that makes the
+// loop nest explicit and tracks applied scheduling transformations through
+// "s.t." relations. The compiler uses it as the human-inspectable form of a
+// scheduled statement; golden tests pin its rendering.
+package cin
+
+import (
+	"fmt"
+	"strings"
+
+	"distal/internal/ir"
+	"distal/internal/schedule"
+)
+
+// Stmt is a concrete index notation statement.
+type Stmt interface {
+	String() string
+}
+
+// Forall is ∀v S, optionally annotated with scheduling relations.
+type Forall struct {
+	Var       string
+	Body      Stmt
+	Relations []string
+}
+
+func (f *Forall) String() string {
+	var b strings.Builder
+	writeForall(&b, f)
+	return b.String()
+}
+
+func writeForall(b *strings.Builder, s Stmt) {
+	switch s := s.(type) {
+	case *Forall:
+		fmt.Fprintf(b, "forall %s ", s.Var)
+		writeForall(b, s.Body)
+		if len(s.Relations) > 0 {
+			fmt.Fprintf(b, " s.t. %s", strings.Join(s.Relations, ", "))
+		}
+	case *Assign:
+		b.WriteString(s.String())
+	default:
+		b.WriteString(s.String())
+	}
+}
+
+// Assign is the leaf assignment a = e or a += e.
+type Assign struct {
+	Stmt *ir.Assignment
+}
+
+func (a *Assign) String() string { return a.Stmt.String() }
+
+// Build converts a scheduled statement into concrete index notation: one
+// Forall per loop-order variable (outermost first) with the schedule's
+// relations attached to the loops they transform.
+func Build(s *schedule.Schedule) *Forall {
+	stmt := s.Stmt()
+	// If the schedule introduced reductions or the loop nest reduces, the
+	// assignment is compound (+=) per Fig 14.
+	inner := Stmt(&Assign{Stmt: stmt})
+	order := s.Order()
+	var root *Forall
+	var cur *Forall
+	for _, v := range order {
+		f := &Forall{Var: v}
+		if root == nil {
+			root = f
+		} else {
+			cur.Body = f
+		}
+		cur = f
+	}
+	if cur == nil {
+		root = &Forall{Var: "", Body: inner}
+		return root
+	}
+	cur.Body = inner
+	root.Relations = relations(s)
+	return root
+}
+
+// relations renders every transformation recorded by the schedule in a
+// stable order: variable derivations first (in loop order of their outer
+// result), then distribute, rotate, and communicate.
+func relations(s *schedule.Schedule) []string {
+	var rels []string
+	seen := map[string]bool{}
+	for _, name := range s.Order() {
+		v := s.Var(name)
+		if v == nil || seen[v.Name] {
+			continue
+		}
+		switch v.Kind {
+		case schedule.DivideOuter:
+			rels = append(rels, fmt.Sprintf("divide(%s,%s,%s,%d)", v.Origin, v.Name, v.Partner, v.Param))
+			seen[v.Partner] = true
+		case schedule.DivideInner:
+			rels = append(rels, fmt.Sprintf("divide(%s,%s,%s,%d)", v.Origin, v.Partner, v.Name, v.Param))
+			seen[v.Partner] = true
+		case schedule.SplitOuter:
+			rels = append(rels, fmt.Sprintf("split(%s,%s,%s,%d)", v.Origin, v.Name, v.Partner, v.Param))
+			seen[v.Partner] = true
+		case schedule.SplitInner:
+			rels = append(rels, fmt.Sprintf("split(%s,%s,%s,%d)", v.Origin, v.Partner, v.Name, v.Param))
+			seen[v.Partner] = true
+		case schedule.Fused:
+			rels = append(rels, fmt.Sprintf("collapse(%s,%s,%s)", v.FuseA, v.FuseB, v.Name))
+		case schedule.Rotated:
+			rels = append(rels, fmt.Sprintf("rotate(%s,{%s},%s)", v.Origin, strings.Join(v.RotateOffsets, ","), v.Name))
+		}
+		seen[v.Name] = true
+	}
+	if d := s.Distributed(); len(d) > 0 {
+		rels = append(rels, fmt.Sprintf("distribute(%s)", strings.Join(d, ",")))
+	}
+	for _, t := range s.Stmt().TensorNames() {
+		if a := s.CommAnchor(t); a != "" {
+			rels = append(rels, fmt.Sprintf("communicate(%s,%s)", t, a))
+		}
+	}
+	return rels
+}

@@ -1,0 +1,79 @@
+package cin
+
+import (
+	"strings"
+	"testing"
+
+	"distal/internal/ir"
+	"distal/internal/schedule"
+)
+
+func TestBuildDefaultNest(t *testing.T) {
+	s := schedule.New(ir.MustParse("A(i,j) = B(i,k) * C(k,j)"))
+	got := Build(s).String()
+	want := "forall i forall j forall k A(i,j) = B(i,k) * C(k,j)"
+	if got != want {
+		t.Fatalf("cin = %q, want %q", got, want)
+	}
+}
+
+// TestPaperExampleLowering pins the example of §5.3: the concrete index
+// notation for the divide transformation rule.
+func TestDivideRelation(t *testing.T) {
+	s := schedule.New(ir.MustParse("A(i,j) = B(i,k) * C(k,j)")).
+		Divide("i", "io", "ii", 4)
+	got := Build(s).String()
+	if !strings.Contains(got, "forall io forall ii forall j forall k") {
+		t.Fatalf("missing divided loops: %q", got)
+	}
+	if !strings.Contains(got, "s.t. divide(i,io,ii,4)") {
+		t.Fatalf("missing divide relation: %q", got)
+	}
+}
+
+func TestSUMMARelations(t *testing.T) {
+	s := schedule.New(ir.MustParse("A(i,j) = B(i,k) * C(k,j)")).
+		DistributeOnto([]string{"i", "j"}, []string{"io", "jo"}, []string{"ii", "ji"}, []int{2, 2}).
+		Split("k", "ko", "ki", 256).
+		Reorder("ko", "ii", "ji", "ki").
+		Communicate("jo", "A").
+		Communicate("ko", "B", "C")
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+	got := Build(s).String()
+	for _, frag := range []string{
+		"forall io forall jo forall ko forall ii forall ji forall ki",
+		"divide(i,io,ii,2)",
+		"divide(j,jo,ji,2)",
+		"split(k,ko,ki,256)",
+		"distribute(io,jo)",
+		"communicate(A,jo)",
+		"communicate(B,ko)",
+		"communicate(C,ko)",
+	} {
+		if !strings.Contains(got, frag) {
+			t.Fatalf("cin missing %q in %q", frag, got)
+		}
+	}
+}
+
+func TestRotateRelation(t *testing.T) {
+	s := schedule.New(ir.MustParse("A(i,j) = B(i,k) * C(k,j)")).
+		DistributeOnto([]string{"i", "j"}, []string{"io", "jo"}, []string{"ii", "ji"}, []int{3, 3}).
+		Divide("k", "ko", "ki", 3).
+		Reorder("ko", "ii", "ji", "ki").
+		Rotate("ko", []string{"io", "jo"}, "kos")
+	got := Build(s).String()
+	if !strings.Contains(got, "rotate(ko,{io,jo},kos)") {
+		t.Fatalf("missing rotate relation: %q", got)
+	}
+}
+
+func TestCollapseRelation(t *testing.T) {
+	s := schedule.New(ir.MustParse("A(i,j) = B(i,k) * C(k,j)")).Collapse("i", "j", "f")
+	got := Build(s).String()
+	if !strings.Contains(got, "collapse(i,j,f)") {
+		t.Fatalf("missing collapse relation: %q", got)
+	}
+}

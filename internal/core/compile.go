@@ -1,0 +1,358 @@
+// Package core is the DISTAL compiler: it combines a tensor index notation
+// statement, the tensors' formats (data distributions), and a schedule
+// (computation distribution) and lowers them to a Legion program (§5, §6).
+//
+// Lowering follows the paper's pipeline:
+//
+//  1. extents of all index variables are resolved against tensor shapes;
+//  2. distributed loops become the domain of index task launches (§6.2),
+//     with directly nested distributed loops flattened into one
+//     multi-dimensional launch;
+//  3. sequential loops that carry a communicate anchor are hoisted to the
+//     control program: one launch is issued per iteration, so the runtime
+//     aggregates communication at exactly the scheduled granularity;
+//  4. region requirement rectangles are derived by the bounds analysis of
+//     internal/schedule (interval arithmetic over derived index variables,
+//     exact under rotation when the offsets are fixed);
+//  5. leaf loops become the task body: an analytic FLOP/byte model for
+//     simulation and a real einsum kernel for validated execution.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"distal/internal/distnot"
+	"distal/internal/ir"
+	"distal/internal/legion"
+	"distal/internal/machine"
+	"distal/internal/schedule"
+	"distal/internal/tensor"
+)
+
+// TensorDecl describes one tensor of the computation at compile time.
+type TensorDecl struct {
+	Name      string
+	Shape     []int
+	Placement *distnot.Placement
+	// Data optionally binds real contents for validated execution.
+	Data *tensor.Dense
+}
+
+// Input is everything the compiler needs.
+type Input struct {
+	Stmt     *ir.Assignment
+	Machine  *machine.Machine
+	Tensors  map[string]*TensorDecl
+	Schedule *schedule.Schedule
+}
+
+// Compile lowers the scheduled statement to a Legion program.
+func Compile(in Input) (*legion.Program, error) {
+	sched := in.Schedule
+	if sched == nil {
+		sched = schedule.New(in.Stmt)
+	}
+	if err := sched.Err(); err != nil {
+		return nil, err
+	}
+	if sched.Stmt() != in.Stmt {
+		return nil, fmt.Errorf("core: schedule was built for a different statement")
+	}
+	shapes := map[string][]int{}
+	for name, t := range in.Tensors {
+		shapes[name] = t.Shape
+	}
+	for _, name := range in.Stmt.TensorNames() {
+		if _, ok := in.Tensors[name]; !ok {
+			return nil, fmt.Errorf("core: no tensor declaration for %s", name)
+		}
+	}
+	if err := in.Stmt.Validate(shapes); err != nil {
+		return nil, err
+	}
+	origExt, err := in.Stmt.VarExtents(shapes)
+	if err != nil {
+		return nil, err
+	}
+	extents, err := sched.Extents(origExt)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range in.Tensors {
+		if t.Placement != nil {
+			if err := t.Placement.Validate(len(t.Shape), in.Machine); err != nil {
+				return nil, fmt.Errorf("core: tensor %s: %w", t.Name, err)
+			}
+		}
+	}
+
+	c := &compiler{
+		in:      in,
+		sched:   sched,
+		extents: extents,
+		order:   sched.Order(),
+		dist:    sched.Distributed(),
+	}
+	return c.lower()
+}
+
+type compiler struct {
+	in      Input
+	sched   *schedule.Schedule
+	extents map[string]int
+	order   []string
+	dist    []string
+
+	regions map[string]*legion.Region
+	seqVars []string // sequential control loops (between dist prefix and leaves)
+	leaf    []string // leaf loop variables
+}
+
+func (c *compiler) lower() (*legion.Program, error) {
+	prog := &legion.Program{
+		Name:    c.in.Stmt.String(),
+		Machine: c.in.Machine,
+	}
+	c.regions = map[string]*legion.Region{}
+	for _, name := range c.in.Stmt.TensorNames() {
+		t := c.in.Tensors[name]
+		r := legion.NewRegion(name, t.Shape, t.Placement)
+		if t.Data != nil {
+			r.Bind(t.Data)
+		}
+		c.regions[name] = r
+		prog.Regions = append(prog.Regions, r)
+	}
+
+	// Control structure: [dist prefix][sequential launch vars][leaf vars].
+	nd := len(c.dist)
+	splitDepth := nd
+	lhs := c.in.Stmt.LHS.Tensor
+	for _, tn := range c.in.Stmt.TensorNames() {
+		if tn == lhs {
+			continue // write aggregation does not force launch splitting
+		}
+		anchor := c.sched.CommAnchor(tn)
+		if anchor == "" {
+			continue // default: aggregate at the task level
+		}
+		if p := c.posOf(anchor); p+1 > splitDepth {
+			splitDepth = p + 1
+		}
+	}
+	c.seqVars = c.order[nd:splitDepth]
+	c.leaf = c.order[splitDepth:]
+
+	// Launch domain over the distributed variables.
+	var domain machine.Grid
+	if nd == 0 {
+		domain = machine.NewGrid(1)
+	} else {
+		dims := make([]int, nd)
+		for i, v := range c.dist {
+			dims[i] = c.extents[v]
+		}
+		domain = machine.NewGrid(dims...)
+	}
+
+	// One launch per assignment of the sequential control variables, in
+	// lexicographic order.
+	seqDims := make([]int, len(c.seqVars))
+	for i, v := range c.seqVars {
+		seqDims[i] = c.extents[v]
+	}
+	seqSpace := tensor.FullRect(seqDims)
+	if len(seqDims) == 0 {
+		prog.Launches = append(prog.Launches, c.buildLaunch(domain, nil))
+	} else {
+		seqSpace.Points(func(p []int) {
+			seq := map[string]int{}
+			for i, v := range c.seqVars {
+				seq[v] = p[i]
+			}
+			prog.Launches = append(prog.Launches, c.buildLaunch(domain, seq))
+		})
+	}
+	return prog, nil
+}
+
+func (c *compiler) posOf(name string) int {
+	for i, v := range c.order {
+		if v == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// envFor builds the fixed-variable environment of a task: the distributed
+// point plus the launch's sequential assignment.
+func (c *compiler) envFor(point []int, seq map[string]int) map[string]int {
+	env := map[string]int{}
+	if len(c.dist) > 0 {
+		for i, v := range c.dist {
+			env[v] = point[i]
+		}
+	}
+	for k, v := range seq {
+		env[k] = v
+	}
+	return env
+}
+
+// anchorEnv restricts env to the variables at or above the communicate
+// anchor of the tensor, so the requirement rect aggregates all iterations
+// nested below the anchor. Distributed variables are always fixed: tasks
+// never need other tasks' data ranges.
+func (c *compiler) anchorEnv(tn string, env map[string]int) map[string]int {
+	anchor := c.sched.CommAnchor(tn)
+	cut := len(c.dist) // default: aggregate at the task level
+	if anchor != "" {
+		if p := c.posOf(anchor); p+1 > cut {
+			cut = p + 1
+		}
+	}
+	out := map[string]int{}
+	for i := 0; i < cut && i < len(c.order); i++ {
+		name := c.order[i]
+		if v, ok := env[name]; ok {
+			out[name] = v
+		}
+	}
+	return out
+}
+
+// rectOf computes the bounding rectangle accessed by tensor tn under the
+// fixed environment env (union over all of tn's accesses in the statement).
+func (c *compiler) rectOf(tn string, env map[string]int) tensor.Rect {
+	ivs := c.sched.Intervals(env, c.extents)
+	shape := c.in.Tensors[tn].Shape
+	var out tensor.Rect
+	first := true
+	consider := func(a *ir.Access) {
+		if a.Tensor != tn {
+			return
+		}
+		r := accessRect(a, ivs, shape)
+		if first {
+			out = r
+			first = false
+			return
+		}
+		for d := range out.Lo {
+			if r.Lo[d] < out.Lo[d] {
+				out.Lo[d] = r.Lo[d]
+			}
+			if r.Hi[d] > out.Hi[d] {
+				out.Hi[d] = r.Hi[d]
+			}
+		}
+	}
+	consider(c.in.Stmt.LHS)
+	for _, a := range c.in.Stmt.RHS.Accesses(nil) {
+		consider(a)
+	}
+	if first {
+		return tensor.FullRect(shape)
+	}
+	return out
+}
+
+// accessRect maps an access's index intervals to a rect of the tensor.
+// Scalar accesses (no indices) over rank-1 unit regions cover [0,1).
+func accessRect(a *ir.Access, ivs map[string]schedule.Interval, shape []int) tensor.Rect {
+	if len(a.Indices) == 0 {
+		return tensor.FullRect(shape)
+	}
+	lo := make([]int, len(a.Indices))
+	hi := make([]int, len(a.Indices))
+	for d, v := range a.Indices {
+		iv := ivs[v.Name]
+		lo[d], hi[d] = iv.Lo, iv.Hi
+	}
+	return tensor.NewRect(lo, hi).Clamp(shape)
+}
+
+// launchName renders "kernel[ko=2,…]" for diagnostics and traces.
+func launchName(stmt *ir.Assignment, seqVars []string, seq map[string]int) string {
+	if len(seqVars) == 0 {
+		return stmt.LHS.Tensor
+	}
+	parts := make([]string, len(seqVars))
+	for i, v := range seqVars {
+		parts[i] = fmt.Sprintf("%s=%d", v, seq[v])
+	}
+	return stmt.LHS.Tensor + "[" + strings.Join(parts, ",") + "]"
+}
+
+// pointInfo caches everything derived from one task point so the runtime's
+// separate Reqs/Flops/MemBytes calls pay the bounds analysis once.
+type pointInfo struct {
+	reqs     []legion.Req
+	flops    float64
+	memBytes float64
+}
+
+func (c *compiler) buildLaunch(domain machine.Grid, seq map[string]int) *legion.Launch {
+	stmt := c.in.Stmt
+	lhs := stmt.LHS.Tensor
+	writePriv := legion.WriteDiscard
+	if len(stmt.ReductionVars()) > 0 || stmt.Increment {
+		writePriv = legion.ReduceSum
+	}
+	cache := map[int]*pointInfo{}
+	info := func(point []int) *pointInfo {
+		key := domain.Linearize(point)
+		if pi, ok := cache[key]; ok {
+			return pi
+		}
+		env := c.envFor(point, seq)
+		pi := &pointInfo{}
+		// LHS write requirement aggregates at the task level.
+		pi.reqs = append(pi.reqs, legion.Req{
+			Region: c.regions[lhs],
+			Rect:   c.rectOf(lhs, c.anchorEnv(lhs, env)),
+			Priv:   writePriv,
+		})
+		seen := map[string]bool{lhs: true}
+		for _, a := range stmt.RHS.Accesses(nil) {
+			if seen[a.Tensor] {
+				continue
+			}
+			seen[a.Tensor] = true
+			pi.reqs = append(pi.reqs, legion.Req{
+				Region: c.regions[a.Tensor],
+				Rect:   c.rectOf(a.Tensor, c.anchorEnv(a.Tensor, env)),
+				Priv:   legion.ReadOnly,
+			})
+		}
+		ivs := c.sched.Intervals(env, c.extents)
+		points := 1.0
+		for _, v := range stmt.Vars() {
+			iv := ivs[v.Name]
+			n := iv.Hi - iv.Lo
+			if n <= 0 {
+				points = 0
+				break
+			}
+			points *= float64(n)
+		}
+		pi.flops = points * float64(stmt.FlopsPerPoint())
+		for _, q := range pi.reqs {
+			pi.memBytes += float64(q.Region.Bytes(q.Rect))
+		}
+		cache[key] = pi
+		return pi
+	}
+	return &legion.Launch{
+		Name:   launchName(stmt, c.seqVars, seq),
+		Domain: domain,
+		Reqs:   func(point []int) []legion.Req { return info(point).reqs },
+		Kernel: legion.Kernel{
+			Flops:    func(point []int) float64 { return info(point).flops },
+			MemBytes: func(point []int) float64 { return info(point).memBytes },
+			Run:      c.realKernel(seq),
+		},
+	}
+}

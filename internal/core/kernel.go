@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+
+	"distal/internal/ir"
+	"distal/internal/legion"
+)
+
+// realKernel builds the Real-mode leaf body: a generic fused einsum loop
+// nest over the leaf variables that reconstructs original index values from
+// the schedule's derivations, skips out-of-extent points (ragged blocks),
+// and accumulates into the LHS through the task's write requirement.
+func (c *compiler) realKernel(seq map[string]int) func(ctx *legion.Ctx) {
+	stmt := c.in.Stmt
+	lhs := stmt.LHS
+	reduces := len(stmt.ReductionVars()) > 0 || stmt.Increment
+	leafVars := c.leaf
+	return func(ctx *legion.Ctx) {
+		env := c.envFor(ctx.Point, seq)
+		var walk func(d int)
+		walk = func(d int) {
+			if d < len(leafVars) {
+				name := leafVars[d]
+				for x := 0; x < c.extents[name]; x++ {
+					env[name] = x
+					walk(d + 1)
+				}
+				delete(env, name)
+				return
+			}
+			vals, ok := c.sched.Value(env, c.extents)
+			if !ok {
+				return // ragged-boundary point outside the iteration space
+			}
+			v := evalRHS(stmt.RHS, vals, ctx)
+			p := pointOf(lhs, vals)
+			if reduces {
+				ctx.WriteAdd(lhs.Tensor, v, p...)
+			} else {
+				ctx.WriteSet(lhs.Tensor, v, p...)
+			}
+		}
+		walk(0)
+	}
+}
+
+func pointOf(a *ir.Access, vals map[string]int) []int {
+	if len(a.Indices) == 0 {
+		return []int{0} // scalars are rank-1 unit regions
+	}
+	p := make([]int, len(a.Indices))
+	for d, v := range a.Indices {
+		p[d] = vals[v.Name]
+	}
+	return p
+}
+
+func evalRHS(e ir.Expr, vals map[string]int, ctx *legion.Ctx) float64 {
+	switch e := e.(type) {
+	case *ir.Access:
+		return ctx.ReadAt(e.Tensor, pointOf(e, vals)...)
+	case *ir.Literal:
+		return e.Value
+	case *ir.Add:
+		return evalRHS(e.L, vals, ctx) + evalRHS(e.R, vals, ctx)
+	case *ir.Mul:
+		return evalRHS(e.L, vals, ctx) * evalRHS(e.R, vals, ctx)
+	default:
+		panic(fmt.Sprintf("core: unknown expression %T", e))
+	}
+}

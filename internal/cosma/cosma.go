@@ -1,0 +1,125 @@
+// Package cosma implements the schedule-optimization step of the COSMA
+// algorithm (Kwasniewski et al., SC'19) at the level DISTAL consumes it
+// (§4.5): given the matrix dimensions, the processor count, and the memory
+// available per processor, it chooses a processor-grid decomposition
+// (gx, gy, gz) and a sequential step count that minimize the communication
+// volume per processor subject to the memory limit. DISTAL then generates
+// the distribution layer of COSMA from those parameters (Fig. 9).
+package cosma
+
+import "math"
+
+// Decomposition is the output of the scheduler.
+type Decomposition struct {
+	Gx, Gy, Gz int
+	// Steps is the number of sequential sub-steps of the per-processor k
+	// range needed to respect the memory limit (>= 1).
+	Steps int
+	// CommWords is the predicted per-processor communication volume in
+	// words (elements).
+	CommWords float64
+	// Feasible is false when even fully stepped execution exceeds memory.
+	Feasible bool
+}
+
+// Choose selects the best decomposition for C[m,n] = A[m,k] * B[k,n] on p
+// processors with memWords of usable local memory each.
+//
+// For a grid (gx, gy, gz) each processor owns an (m/gx, n/gy) block of the
+// output and consumes (m/gx, k/gz) of A and (k/gz, n/gy) of B; its
+// communication volume is the input blocks it does not own plus, when
+// gz > 1, the reduction of its output block. The memory footprint is the
+// output block plus a double-buffered 1/Steps fraction of the input blocks.
+func Choose(m, n, k, p int, memWords float64) Decomposition {
+	best := Decomposition{Feasible: false}
+	found := false
+	for gx := 1; gx <= p; gx++ {
+		if p%gx != 0 {
+			continue
+		}
+		for gy := 1; gy <= p/gx; gy++ {
+			if (p/gx)%gy != 0 {
+				continue
+			}
+			gz := p / gx / gy
+			d := evaluate(m, n, k, gx, gy, gz, memWords)
+			if !d.Feasible {
+				continue
+			}
+			if !found || d.CommWords < best.CommWords ||
+				(d.CommWords == best.CommWords && d.Steps < best.Steps) {
+				best = d
+				found = true
+			}
+		}
+	}
+	if !found {
+		// Nothing fits: return the most stepped 2D decomposition anyway so
+		// callers can observe the OOM.
+		gx, gy := Factor2(p)
+		best = evaluate(m, n, k, gx, gy, 1, memWords)
+		best.Feasible = false
+	}
+	return best
+}
+
+func evaluate(m, n, k, gx, gy, gz int, memWords float64) Decomposition {
+	am := float64(m) / float64(gx) * float64(k) / float64(gz) // A block words
+	bm := float64(k) / float64(gz) * float64(n) / float64(gy) // B block words
+	cm := float64(m) / float64(gx) * float64(n) / float64(gy) // C block words
+	comm := am + bm
+	if gz > 1 {
+		comm += cm // reduction of the replicated output
+	}
+	d := Decomposition{Gx: gx, Gy: gy, Gz: gz, CommWords: comm}
+	if cm >= memWords {
+		return d // output alone does not fit
+	}
+	// Find the smallest step count whose double-buffered working set fits.
+	for steps := 1; steps <= 1<<20; steps *= 2 {
+		work := cm + 2*(am+bm)/float64(steps)
+		if work <= memWords {
+			d.Steps = steps
+			d.Feasible = true
+			return d
+		}
+	}
+	return d
+}
+
+// Factor2 factors p into the most square (gx, gy) pair with gx <= gy.
+func Factor2(p int) (gx, gy int) {
+	gx = 1
+	for d := 1; d*d <= p; d++ {
+		if p%d == 0 {
+			gx = d
+		}
+	}
+	return gx, p / gx
+}
+
+// Factor3 factors p into the most balanced (a, b, c) triple (a >= b >= c),
+// minimizing the surface-to-volume ratio a/c.
+func Factor3(p int) (a, b, c int) {
+	bestScore := math.Inf(1)
+	a, b, c = p, 1, 1
+	for x := 1; x*x*x <= p; x++ {
+		if p%x != 0 {
+			continue
+		}
+		q := p / x
+		for y := x; y*y <= q; y++ {
+			if q%y != 0 {
+				continue
+			}
+			z := q / y
+			// x <= y <= z; score by imbalance.
+			score := float64(z) / float64(x)
+			if score < bestScore {
+				bestScore = score
+				a, b, c = z, y, x
+			}
+		}
+	}
+	return a, b, c
+}

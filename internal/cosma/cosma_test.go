@@ -1,0 +1,93 @@
+package cosma
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFactor2(t *testing.T) {
+	cases := []struct{ p, gx, gy int }{
+		{1, 1, 1}, {2, 1, 2}, {4, 2, 2}, {8, 2, 4}, {16, 4, 4}, {36, 6, 6}, {12, 3, 4},
+	}
+	for _, c := range cases {
+		gx, gy := Factor2(c.p)
+		if gx != c.gx || gy != c.gy {
+			t.Errorf("Factor2(%d) = (%d,%d), want (%d,%d)", c.p, gx, gy, c.gx, c.gy)
+		}
+	}
+}
+
+func TestFactor3(t *testing.T) {
+	cases := []struct{ p, a, b, c int }{
+		{1, 1, 1, 1}, {8, 2, 2, 2}, {27, 3, 3, 3}, {64, 4, 4, 4},
+		{4, 2, 2, 1}, {16, 4, 2, 2}, {32, 4, 4, 2},
+	}
+	for _, c := range cases {
+		a, b, cc := Factor3(c.p)
+		if a != c.a || b != c.b || cc != c.c {
+			t.Errorf("Factor3(%d) = (%d,%d,%d), want (%d,%d,%d)", c.p, a, b, cc, c.a, c.b, c.c)
+		}
+	}
+}
+
+func TestFactor3Product(t *testing.T) {
+	f := func(p8 uint8) bool {
+		p := int(p8)%500 + 1
+		a, b, c := Factor3(p)
+		return a*b*c == p && a >= b && b >= c && c >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChoosePrefers3DWithAmpleMemory(t *testing.T) {
+	// With abundant memory, replicating over gz reduces communication for a
+	// cube-shaped problem on a cube-factorable processor count.
+	d := Choose(4096, 4096, 4096, 64, 1e12)
+	if !d.Feasible {
+		t.Fatal("should be feasible")
+	}
+	if d.Gz == 1 {
+		t.Fatalf("expected 3D decomposition, got (%d,%d,%d)", d.Gx, d.Gy, d.Gz)
+	}
+	if d.Gx*d.Gy*d.Gz != 64 {
+		t.Fatalf("grid does not multiply to p: %+v", d)
+	}
+}
+
+func TestChooseFallsBackTo2DUnderTightMemory(t *testing.T) {
+	n := 4096
+	// Memory just enough for the 2D working set: output block + stepped
+	// inputs. 3D replication would need more.
+	words := float64(n) * float64(n) / 16 * 1.5
+	d := Choose(n, n, n, 16, words)
+	if !d.Feasible {
+		t.Fatal("2D stepped should be feasible")
+	}
+	if d.Gz != 1 {
+		t.Fatalf("expected 2D under tight memory, got gz=%d", d.Gz)
+	}
+	if d.Steps < 2 {
+		t.Fatalf("expected stepping under tight memory, got %d", d.Steps)
+	}
+}
+
+func TestChooseInfeasible(t *testing.T) {
+	d := Choose(1000, 1000, 1000, 4, 10 /* words */)
+	if d.Feasible {
+		t.Fatal("output block cannot fit in 10 words")
+	}
+}
+
+func TestChooseCommDecreasesWithMoreMemory(t *testing.T) {
+	n, p := 8192, 64
+	tight := Choose(n, n, n, p, float64(n)*float64(n)/float64(p)*4)
+	ample := Choose(n, n, n, p, 1e12)
+	if !tight.Feasible || !ample.Feasible {
+		t.Fatal("both should be feasible")
+	}
+	if ample.CommWords > tight.CommWords {
+		t.Fatalf("more memory should not increase comm: %v vs %v", ample.CommWords, tight.CommWords)
+	}
+}

@@ -1,0 +1,89 @@
+package distnot
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"distal/internal/machine"
+	"distal/internal/tensor"
+)
+
+// TestHierarchicalRefinementProperty: the leaf pieces of a hierarchical
+// placement must refine their node piece — every leaf rect is contained in
+// the rect its node holds at level 0, and the leaves of one node exactly
+// tile that node's piece when the inner statement has no broadcast or fixed
+// dimensions.
+func TestHierarchicalRefinementProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nx, ny := rng.Intn(3)+1, rng.Intn(3)+1
+		gpus := rng.Intn(3) + 1
+		rows, cols := rng.Intn(12)+gpus, rng.Intn(12)+1
+		child := machine.New(machine.NewGrid(gpus), machine.GPUFBMem, machine.GPU)
+		m := machine.New(machine.NewGrid(nx, ny), machine.SysMem, machine.CPU).WithChild(child)
+		p := MustParsePlacement("xy->xy; zw->z")
+		shape := []int{rows, cols}
+		outer := p.Levels[0]
+		ok := true
+		m.Grid.Points(func(node []int) {
+			nodeRect, has := outer.RectFor(shape, m.Grid, node)
+			if !has {
+				ok = false
+				return
+			}
+			covered := 0
+			for g := 0; g < gpus; g++ {
+				leaf := append(append([]int{}, node...), g)
+				r, has := p.RectFor(shape, m, leaf)
+				if !has {
+					ok = false
+					return
+				}
+				if !nodeRect.ContainsRect(r) {
+					ok = false
+					return
+				}
+				covered += r.Volume()
+			}
+			if covered != nodeRect.Volume() {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOwnersCoverEveryCoordinateProperty: for any valid statement without
+// empty pieces, every tensor coordinate has at least one owner, and the
+// number of owners equals Replicas for statements without Fixed dims.
+func TestOwnersCoverEveryCoordinateProperty(t *testing.T) {
+	stmts := []string{"xy->xy", "xy->x*", "xy->*y", "xy->xy*", "xyz->zx", "x->**"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := MustParse(stmts[rng.Intn(len(stmts))])
+		dims := make([]int, len(s.MachineDims))
+		for d := range dims {
+			dims[d] = rng.Intn(3) + 1
+		}
+		g := machine.NewGrid(dims...)
+		shape := make([]int, len(s.TensorDims))
+		for d := range shape {
+			shape[d] = rng.Intn(6) + 1
+		}
+		ok := true
+		tensor.FullRect(shape).Points(func(p []int) {
+			owners := s.OwnersOf(shape, g, p)
+			if len(owners) == 0 || len(owners) != s.Replicas(g) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"distal/internal/algorithms"
+	"distal/internal/sim"
+)
+
+// The tests below assert the *shape* properties of each figure that the
+// paper reports — who wins, what declines, where memory runs out — at a
+// node count small enough for CI. The full-scale tables are produced by
+// cmd/distal-bench and bench_test.go.
+
+func TestFig15aShape(t *testing.T) {
+	fig, err := Fig15a(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nodes = 16
+	peak := fig.Get("Peak Utilization").At(nodes)
+	cosma := fig.Get("COSMA").At(nodes)
+	restricted := fig.Get("COSMA (Restricted CPUs)").At(nodes)
+	ctf := fig.Get("CTF").At(nodes)
+	scal := fig.Get("ScaLAPACK").At(nodes)
+	best := 0.0
+	for _, s := range fig.Series {
+		if strings.HasPrefix(s.Name, "Our ") && s.At(nodes) > best {
+			best = s.At(nodes)
+		}
+	}
+	if best <= 0 || cosma <= 0 {
+		t.Fatal("missing series values")
+	}
+	// §7.1.1: DISTAL within 10% of COSMA; restricted COSMA ~= DISTAL;
+	// ScaLAPACK below DISTAL; everything below peak.
+	if best < 0.9*cosma {
+		t.Errorf("best DISTAL %.0f should be within 10%% of COSMA %.0f", best, cosma)
+	}
+	if r := best / restricted; r < 0.9 || r > 1.1 {
+		t.Errorf("restricted COSMA (%.0f) should match DISTAL (%.0f)", restricted, best)
+	}
+	if scal >= best {
+		t.Errorf("ScaLAPACK (%.0f) should trail DISTAL (%.0f)", scal, best)
+	}
+	if ctf > cosma {
+		t.Errorf("CTF (%.0f) should not beat COSMA (%.0f)", ctf, cosma)
+	}
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			if !p.OOM && p.Value > peak*1.001 {
+				t.Errorf("series %s exceeds peak: %.0f > %.0f", s.Name, p.Value, peak)
+			}
+		}
+	}
+}
+
+func TestFig15aScaLAPACKDeclines(t *testing.T) {
+	fig, err := Fig15a(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fig.Get("ScaLAPACK")
+	if s.At(16) >= s.At(1) {
+		t.Errorf("ScaLAPACK should lose per-node throughput when scaling: %.0f -> %.0f", s.At(1), s.At(16))
+	}
+}
+
+func TestFig15bShape(t *testing.T) {
+	fig, err := Fig15b(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §7.1.2: on a single node every DISTAL kernel roughly doubles COSMA's
+	// out-of-core performance.
+	cosma := fig.Get("COSMA").At(1)
+	for _, s := range fig.Series {
+		if !strings.HasPrefix(s.Name, "Our ") {
+			continue
+		}
+		if v := s.At(1); v < 1.7*cosma {
+			t.Errorf("%s at 1 node (%.0f) should be ~2x COSMA (%.0f)", s.Name, v, cosma)
+		}
+	}
+	// GPU runs are much faster than CPU peak.
+	if fig.Get("Our SUMMA").At(1) < 20000 {
+		t.Errorf("GPU SUMMA single node = %.0f GFLOP/s, want > 20000", fig.Get("Our SUMMA").At(1))
+	}
+}
+
+func TestFig15bJohnsonOOMsAtScale(t *testing.T) {
+	// §7.1.2: replication-heavy 3D algorithms exhaust the 16 GiB
+	// framebuffers as the problem weak-scales (the paper saw this from 32
+	// nodes; our memory model crosses the capacity a couple of doublings
+	// later because it under-counts Legion's staging buffers — see
+	// EXPERIMENTS.md). Check Johnson's directly at 256 nodes.
+	pt, err := runOurs(algorithmJohnson(), gpuCfg(256), gpuParams(), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pt.OOM {
+		t.Error("expected Johnson's algorithm to run out of GPU memory at 256 nodes")
+	}
+	// And it must still fit at small scale.
+	pt, err = runOurs(algorithmJohnson(), gpuCfg(4), gpuParams(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.OOM {
+		t.Error("Johnson's should fit at 4 nodes")
+	}
+}
+
+func TestFig16Shapes(t *testing.T) {
+	for _, k := range HigherKernels {
+		fig, err := Fig16(k, false, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		ours, ctf := fig.Get("Ours"), fig.Get("CTF")
+		// §7.2: DISTAL wins every kernel at every multi-node count.
+		for _, nodes := range []int{2, 4, 8} {
+			if ours.At(nodes) <= ctf.At(nodes) {
+				t.Errorf("%s at %d nodes: ours %.1f should beat CTF %.1f", k, nodes, ours.At(nodes), ctf.At(nodes))
+			}
+		}
+		// DISTAL's aligned schedules weak-scale nearly flat.
+		if ours.At(8) < 0.8*ours.At(1) {
+			t.Errorf("%s: DISTAL should weak-scale (%.1f -> %.1f)", k, ours.At(1), ours.At(8))
+		}
+	}
+}
+
+func TestFig16TTVCollapse(t *testing.T) {
+	fig, err := Fig16(TTV, false, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctf := fig.Get("CTF")
+	// §7.2.2: CTF's TTV drops sharply past a single node.
+	if ctf.At(4) > 0.5*ctf.At(1) {
+		t.Errorf("CTF TTV should collapse past one node: %.1f -> %.1f", ctf.At(1), ctf.At(4))
+	}
+}
+
+func TestFig16GPUFasterThanCPU(t *testing.T) {
+	for _, k := range []HigherKernel{TTV, TTM} {
+		cpu, err := Fig16(k, false, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gpu, err := Fig16(k, true, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gpu.Get("Ours").At(1) <= cpu.Get("Ours").At(1) {
+			t.Errorf("%s: GPU (%.1f) should beat CPU (%.1f) per node", k, gpu.Get("Ours").At(1), cpu.Get("Ours").At(1))
+		}
+	}
+}
+
+func TestFig9TableAllValidAndTight(t *testing.T) {
+	rows, err := Fig9Table(64, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Valid {
+			t.Errorf("%s: distributed result does not match reference", r.Alg)
+		}
+		ratio := r.InterGB / r.PredictedGB
+		if ratio < 0.3 || ratio > 2.0 {
+			t.Errorf("%s: measured comm %.2f GB vs predicted %.2f GB (ratio %.2f) outside [0.3, 2.0]",
+				r.Alg, r.InterGB, r.PredictedGB, ratio)
+		}
+	}
+	// 3D algorithms (rows 3..5) must communicate less than 2D (rows 0..2)
+	// at p=64 where p^(1/3)=4 < sqrt(p)=8.
+	for i := 3; i < 6; i++ {
+		if rows[i].InterGB >= rows[0].InterGB {
+			t.Errorf("3D algorithm %s should move less data than Cannon's (%.2f vs %.2f GB)",
+				rows[i].Alg, rows[i].InterGB, rows[0].InterGB)
+		}
+	}
+}
+
+func TestSummaryHeadlines(t *testing.T) {
+	rows, text, err := Summary(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 6 {
+		t.Fatalf("summary rows = %d", len(rows))
+	}
+	byName := map[string]float64{}
+	for _, r := range rows {
+		byName[r.Comparison] = r.Speedup
+	}
+	if v := byName["best DISTAL vs COSMA (CPU)"]; v < 0.85 {
+		t.Errorf("vs COSMA = %.2fx, want >= 0.85x", v)
+	}
+	if v := byName["best DISTAL vs ScaLAPACK (CPU)"]; v < 1.1 {
+		t.Errorf("vs ScaLAPACK = %.2fx, want >= 1.1x", v)
+	}
+	if v := byName["DISTAL vs CTF: ttv (CPU)"]; v < 5 {
+		t.Errorf("TTV outlier = %.2fx, want >= 5x", v)
+	}
+	for _, k := range []string{"mttkrp"} {
+		if v := byName["DISTAL vs CTF: "+k+" (CPU)"]; v < 1.5 {
+			t.Errorf("%s speedup = %.2fx, want >= 1.5x", k, v)
+		}
+	}
+	if !strings.Contains(text, "headline comparisons") {
+		t.Error("summary text missing header")
+	}
+}
+
+func TestRenderContainsAllSeries(t *testing.T) {
+	fig, err := Fig16(TTV, false, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Render(fig)
+	for _, s := range fig.Series {
+		if !strings.Contains(out, s.Name) {
+			t.Errorf("render missing series %s", s.Name)
+		}
+	}
+}
+
+func algorithmJohnson() algorithms.Alg { return algorithms.Johnson }
+
+func gpuCfg(nodes int) algorithms.MatmulConfig {
+	return algorithms.MatmulConfig{
+		N: weakScaledN(19968, nodes), Procs: nodes * 4, ProcsPerNode: 4, GPU: true,
+	}
+}
+
+func gpuParams() sim.Params { return sim.LassenGPU() }
+
+func TestWeakScaling(t *testing.T) {
+	if weakScaledN(8192, 1) != 8192 {
+		t.Fatal("base N should be unchanged")
+	}
+	if n := weakScaledN(8192, 4); n != 16384 {
+		t.Fatalf("weakScaledN(8192, 4) = %d, want 16384", n)
+	}
+	if weakScaledCube(768, 8) != 1536 {
+		t.Fatalf("weakScaledCube(768, 8) = %d", weakScaledCube(768, 8))
+	}
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+
+	"distal/internal/algorithms"
+	"distal/internal/baselines"
+	"distal/internal/core"
+	"distal/internal/legion"
+	"distal/internal/sim"
+)
+
+// HigherKernel names one of the §7.2 kernels.
+type HigherKernel string
+
+const (
+	TTV       HigherKernel = "ttv"
+	Innerprod HigherKernel = "innerprod"
+	TTM       HigherKernel = "ttm"
+	MTTKRP    HigherKernel = "mttkrp"
+)
+
+// HigherKernels lists the kernels in the paper's order (Fig. 16a-d).
+var HigherKernels = []HigherKernel{TTV, Innerprod, TTM, MTTKRP}
+
+// higherBase holds the single-node base extents of each kernel, chosen (like
+// the paper) to be just large enough to reach peak on one node.
+var higherBase = map[HigherKernel]algorithms.HigherConfig{
+	TTV:       {I: 1024, J: 1024, K: 512},
+	Innerprod: {I: 1024, J: 1024, K: 512},
+	TTM:       {I: 768, J: 768, K: 768, L: 32},
+	MTTKRP:    {I: 768, J: 768, K: 768, L: 32},
+}
+
+// bandwidthBound reports whether the paper plots the kernel in GB/s rather
+// than GFLOP/s.
+func bandwidthBound(k HigherKernel) bool { return k == TTV || k == Innerprod }
+
+// scaleHigher weak-scales the base extents with the processor count
+// (constant memory per node): 3-tensor extents grow with cbrt(nodes).
+func scaleHigher(k HigherKernel, nodes int) algorithms.HigherConfig {
+	cfg := higherBase[k]
+	cfg.I = weakScaledCube(cfg.I, nodes)
+	cfg.J = weakScaledCube(cfg.J, nodes)
+	cfg.K = weakScaledCube(cfg.K, nodes)
+	return cfg
+}
+
+// kernelBytes is the tensor data processed by the kernel, the numerator of
+// the GB/s metric.
+func kernelBytes(k HigherKernel, cfg algorithms.HigherConfig) float64 {
+	bt := float64(cfg.I) * float64(cfg.J) * float64(cfg.K) * 8
+	switch k {
+	case TTV:
+		return bt + float64(cfg.K)*8 + float64(cfg.I)*float64(cfg.J)*8
+	case Innerprod:
+		return 2 * bt
+	default:
+		return bt
+	}
+}
+
+// Fig16 regenerates one panel of Figure 16: DISTAL vs CTF for a kernel on
+// CPUs or GPUs, weak scaled.
+func Fig16(kernel HigherKernel, gpu bool, maxNodes int) (*Figure, error) {
+	yl := "GFLOP/s per node"
+	if bandwidthBound(kernel) {
+		yl = "GB/s per node"
+	}
+	target := "CPU"
+	if gpu {
+		target = "GPU"
+	}
+	fig := &Figure{
+		ID:     fmt.Sprintf("fig16-%s-%s", kernel, target),
+		Title:  fmt.Sprintf("%s weak scaling (%s)", kernel, target),
+		YLabel: yl,
+	}
+	ours := Series{Name: "Ours"}
+	ctf := Series{Name: "CTF"}
+	for _, nodes := range nodeCounts(maxNodes) {
+		cfg := scaleHigher(kernel, nodes)
+		if gpu {
+			cfg.Procs, cfg.ProcsPerNode, cfg.GPU = nodes*4, 4, true
+		} else {
+			cfg.Procs, cfg.ProcsPerNode = nodes*2, 2
+		}
+		in, err := buildHigher(kernel, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig16 %s@%d: %w", kernel, nodes, err)
+		}
+		params := sim.LassenCPU()
+		if gpu {
+			params = sim.LassenGPU()
+		}
+		res, err := runInput(in, params)
+		if err != nil {
+			return nil, fmt.Errorf("fig16 %s@%d: %w", kernel, nodes, err)
+		}
+		ours.Points = append(ours.Points, higherPoint(kernel, cfg, res, nodes))
+
+		if !gpu { // the paper could not build CTF's GPU backend (§7.2)
+			spec, err := ctfHigher(kernel, cfg, nodes)
+			if err != nil {
+				return nil, fmt.Errorf("fig16 ctf %s@%d: %w", kernel, nodes, err)
+			}
+			cres, err := spec.Execute(sim.LassenCPU())
+			if err != nil {
+				return nil, fmt.Errorf("fig16 ctf %s@%d: %w", kernel, nodes, err)
+			}
+			ctf.Points = append(ctf.Points, higherPoint(kernel, cfg, cres, nodes))
+		}
+	}
+	fig.Series = append(fig.Series, ours)
+	if !gpu {
+		fig.Series = append(fig.Series, ctf)
+	}
+	return fig, nil
+}
+
+func buildHigher(kernel HigherKernel, cfg algorithms.HigherConfig) (core.Input, error) {
+	switch kernel {
+	case TTV:
+		return algorithms.TTV(cfg)
+	case Innerprod:
+		return algorithms.Innerprod(cfg)
+	case TTM:
+		return algorithms.TTM(cfg)
+	case MTTKRP:
+		return algorithms.MTTKRP(cfg)
+	}
+	return core.Input{}, fmt.Errorf("experiments: unknown kernel %q", kernel)
+}
+
+func ctfHigher(kernel HigherKernel, cfg algorithms.HigherConfig, nodes int) (*baselines.Spec, error) {
+	switch kernel {
+	case TTV:
+		return baselines.CTFTTV(cfg, nodes)
+	case Innerprod:
+		return baselines.CTFInnerprod(cfg, nodes)
+	case TTM:
+		return baselines.CTFTTM(cfg, nodes)
+	case MTTKRP:
+		return baselines.CTFMTTKRP(cfg, nodes)
+	}
+	return nil, fmt.Errorf("experiments: unknown kernel %q", kernel)
+}
+
+func higherPoint(kernel HigherKernel, cfg algorithms.HigherConfig, res *legion.Result, nodes int) Point {
+	if res.OOM {
+		return Point{Nodes: nodes, OOM: true}
+	}
+	if bandwidthBound(kernel) {
+		return Point{Nodes: nodes, Value: kernelBytes(kernel, cfg) / res.Time / 1e9 / float64(nodes)}
+	}
+	return Point{Nodes: nodes, Value: res.Flops / res.Time / 1e9 / float64(nodes)}
+}

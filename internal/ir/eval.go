@@ -1,0 +1,148 @@
+package ir
+
+import (
+	"fmt"
+
+	"distal/internal/tensor"
+)
+
+// Evaluate executes the statement sequentially over the full iteration space
+// and returns the output tensor. It is the reference semantics against which
+// every distributed execution is validated.
+//
+// Inputs maps tensor names to their data; the LHS tensor, if present in
+// inputs, supplies the output's initial contents (for += statements);
+// otherwise the output starts at zero. The output shape is inferred from the
+// LHS access and the variable extents.
+func Evaluate(stmt *Assignment, inputs map[string]*tensor.Dense) (*tensor.Dense, error) {
+	shapes := map[string][]int{}
+	for name, t := range inputs {
+		shapes[name] = t.Shape()
+	}
+	// The LHS shape may be absent from inputs; infer extents from the RHS
+	// accesses first, then derive the LHS shape.
+	extents := map[string]int{}
+	for _, a := range stmt.RHS.Accesses(nil) {
+		shape, ok := shapes[a.Tensor]
+		if !ok {
+			return nil, fmt.Errorf("ir: evaluate: missing input tensor %s", a.Tensor)
+		}
+		if len(shape) != len(a.Indices) && !scalarCompatible(a, shape) {
+			return nil, fmt.Errorf("ir: access %s has %d indices but tensor has rank %d",
+				a, len(a.Indices), len(shape))
+		}
+		for d, v := range a.Indices {
+			if prev, ok := extents[v.Name]; ok && prev != shape[d] {
+				return nil, fmt.Errorf("ir: variable %s indexes extents %d and %d", v.Name, prev, shape[d])
+			}
+			extents[v.Name] = shape[d]
+		}
+	}
+	outShape := make([]int, len(stmt.LHS.Indices))
+	for d, v := range stmt.LHS.Indices {
+		ext, ok := extents[v.Name]
+		if !ok {
+			return nil, fmt.Errorf("ir: LHS variable %s not bound by any RHS access", v.Name)
+		}
+		outShape[d] = ext
+	}
+	out := tensor.New(stmt.LHS.Tensor, outShape...)
+	if init, ok := inputs[stmt.LHS.Tensor]; ok && stmt.Increment {
+		copy(out.Data(), init.Data())
+	}
+	if err := stmt.Validate(withShape(shapes, stmt.LHS.Tensor, outShape)); err != nil {
+		return nil, err
+	}
+
+	vars := stmt.Vars()
+	dims := make([]int, len(vars))
+	for i, v := range vars {
+		dims[i] = extents[v.Name]
+	}
+	env := map[string]int{}
+	point := make([]int, len(vars))
+	var walk func(d int)
+	walk = func(d int) {
+		if d == len(vars) {
+			v := evalExpr(stmt.RHS, env, inputs)
+			out.Add(v, accessPoint(stmt.LHS, env)...)
+			return
+		}
+		for x := 0; x < dims[d]; x++ {
+			env[vars[d].Name] = x
+			point[d] = x
+			walk(d + 1)
+		}
+	}
+	walk(0)
+	return out, nil
+}
+
+func withShape(shapes map[string][]int, name string, shape []int) map[string][]int {
+	out := map[string][]int{}
+	for k, v := range shapes {
+		out[k] = v
+	}
+	out[name] = shape
+	return out
+}
+
+func accessPoint(a *Access, env map[string]int) []int {
+	p := make([]int, len(a.Indices))
+	for d, v := range a.Indices {
+		p[d] = env[v.Name]
+	}
+	return p
+}
+
+// scalarPoint adapts a zero-index access to the rank of the target tensor.
+func scalarPoint(a *Access, t *tensor.Dense) []int {
+	if len(a.Indices) == 0 && t.Rank() == 1 {
+		return []int{0}
+	}
+	return nil
+}
+
+func evalExpr(e Expr, env map[string]int, inputs map[string]*tensor.Dense) float64 {
+	switch e := e.(type) {
+	case *Access:
+		t, ok := inputs[e.Tensor]
+		if !ok {
+			panic(fmt.Sprintf("ir: evaluate: missing input tensor %s", e.Tensor))
+		}
+		if p := scalarPoint(e, t); p != nil {
+			return t.At(p...)
+		}
+		return t.At(accessPoint(e, env)...)
+	case *Literal:
+		return e.Value
+	case *Add:
+		return evalExpr(e.L, env, inputs) + evalExpr(e.R, env, inputs)
+	case *Mul:
+		return evalExpr(e.L, env, inputs) * evalExpr(e.R, env, inputs)
+	default:
+		panic(fmt.Sprintf("ir: evaluate: unknown expression %T", e))
+	}
+}
+
+// FlopsPerPoint returns the number of floating-point operations performed at
+// one iteration-space point of the statement: one per +/* in the RHS, plus
+// one for the accumulation into the LHS when the statement reduces.
+func (s *Assignment) FlopsPerPoint() int {
+	ops := countOps(s.RHS)
+	if len(s.ReductionVars()) > 0 || s.Increment {
+		ops++
+	}
+	return ops
+}
+
+func countOps(e Expr) int {
+	switch e := e.(type) {
+	case *Add:
+		return countOps(e.L) + countOps(e.R) + 1
+	case *Mul:
+		return countOps(e.L) + countOps(e.R) + 1
+	default:
+		return 0
+	}
+}

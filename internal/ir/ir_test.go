@@ -1,0 +1,251 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"distal/internal/tensor"
+)
+
+func TestParseGEMM(t *testing.T) {
+	s, err := Parse("A(i,j) = B(i,k) * C(k,j)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.LHS.Tensor != "A" || len(s.LHS.Indices) != 2 {
+		t.Fatalf("bad LHS: %v", s.LHS)
+	}
+	if s.Increment {
+		t.Fatal("should not be increment")
+	}
+	if got := s.String(); got != "A(i,j) = B(i,k) * C(k,j)" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestParseIncrement(t *testing.T) {
+	s := MustParse("A(i,j) += B(i,k) * C(k,j)")
+	if !s.Increment {
+		t.Fatal("expected increment assignment")
+	}
+}
+
+func TestParseScalarLHS(t *testing.T) {
+	s := MustParse("a = B(i,j,k) * C(i,j,k)")
+	if len(s.LHS.Indices) != 0 {
+		t.Fatalf("scalar LHS should have no indices, got %v", s.LHS.Indices)
+	}
+	if len(s.ReductionVars()) != 3 {
+		t.Fatalf("reduction vars = %v, want i,j,k", s.ReductionVars())
+	}
+}
+
+func TestParseMTTKRP(t *testing.T) {
+	s := MustParse("A(i,l) = B(i,j,k) * C(j,l) * D(k,l)")
+	names := s.TensorNames()
+	want := []string{"A", "B", "C", "D"}
+	if len(names) != 4 {
+		t.Fatalf("tensors = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("tensors = %v, want %v", names, want)
+		}
+	}
+	rv := s.ReductionVars()
+	if len(rv) != 2 || rv[0].Name != "j" || rv[1].Name != "k" {
+		t.Fatalf("reduction vars = %v, want [j k]", rv)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	s := MustParse("A(i) = B(i) + C(i) * D(i)")
+	add, ok := s.RHS.(*Add)
+	if !ok {
+		t.Fatalf("top of RHS should be Add, got %T", s.RHS)
+	}
+	if _, ok := add.R.(*Mul); !ok {
+		t.Fatalf("* should bind tighter than +")
+	}
+}
+
+func TestParseParensAndLiteral(t *testing.T) {
+	s := MustParse("A(i) = (B(i) + 2.5) * C(i)")
+	mul, ok := s.RHS.(*Mul)
+	if !ok {
+		t.Fatalf("top should be Mul, got %T", s.RHS)
+	}
+	add, ok := mul.L.(*Add)
+	if !ok {
+		t.Fatalf("left of Mul should be parenthesized Add")
+	}
+	lit, ok := add.R.(*Literal)
+	if !ok || lit.Value != 2.5 {
+		t.Fatalf("literal = %v", add.R)
+	}
+	if !strings.Contains(s.String(), "(B(i) + 2.5)") {
+		t.Fatalf("String() should keep parens: %q", s.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"A(i,j)",
+		"A(i,j = B(i,j)",
+		"A(i,j) = ",
+		"A(i,j) = B(i,j) extra",
+		"A(i,j) = B(i,j) +",
+		"= B(i,j)",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestVarsOrder(t *testing.T) {
+	s := MustParse("A(i,j) = B(i,k) * C(k,j)")
+	vs := s.Vars()
+	want := []string{"i", "j", "k"}
+	if len(vs) != 3 {
+		t.Fatalf("vars = %v", vs)
+	}
+	for i := range want {
+		if vs[i].Name != want[i] {
+			t.Fatalf("vars = %v, want %v", vs, want)
+		}
+	}
+}
+
+func TestValidateArityMismatch(t *testing.T) {
+	s := MustParse("A(i,j) = B(i,j,k) * c(k)")
+	err := s.Validate(map[string][]int{
+		"A": {4, 4}, "B": {4, 4}, "c": {4},
+	})
+	if err == nil {
+		t.Fatal("expected arity error")
+	}
+}
+
+func TestValidateExtentMismatch(t *testing.T) {
+	s := MustParse("A(i,j) = B(i,k) * C(k,j)")
+	err := s.Validate(map[string][]int{
+		"A": {4, 4}, "B": {4, 5}, "C": {6, 4},
+	})
+	if err == nil {
+		t.Fatal("expected extent mismatch for k")
+	}
+}
+
+func TestVarExtents(t *testing.T) {
+	s := MustParse("A(i,j) = B(i,k) * C(k,j)")
+	ext, err := s.VarExtents(map[string][]int{"A": {2, 3}, "B": {2, 4}, "C": {4, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext["i"] != 2 || ext["j"] != 3 || ext["k"] != 4 {
+		t.Fatalf("extents = %v", ext)
+	}
+}
+
+func TestEvaluateGEMM(t *testing.T) {
+	b := tensor.New("B", 3, 4)
+	c := tensor.New("C", 4, 2)
+	b.FillRandom(1)
+	c.FillRandom(2)
+	s := MustParse("A(i,j) = B(i,k) * C(k,j)")
+	got, err := Evaluate(s, map[string]*tensor.Dense{"B": b, "C": c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			want := 0.0
+			for k := 0; k < 4; k++ {
+				want += b.At(i, k) * c.At(k, j)
+			}
+			if diff := got.At(i, j) - want; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("A(%d,%d) = %v, want %v", i, j, got.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestEvaluateTTV(t *testing.T) {
+	b := tensor.New("B", 2, 3, 4)
+	c := tensor.New("c", 4)
+	b.FillRandom(3)
+	c.FillRandom(4)
+	s := MustParse("A(i,j) = B(i,j,k) * c(k)")
+	got, err := Evaluate(s, map[string]*tensor.Dense{"B": b, "c": c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			for k := 0; k < 4; k++ {
+				want += b.At(i, j, k) * c.At(k)
+			}
+			if d := got.At(i, j) - want; d > 1e-12 || d < -1e-12 {
+				t.Fatalf("A(%d,%d) wrong", i, j)
+			}
+		}
+	}
+}
+
+func TestEvaluateInnerProduct(t *testing.T) {
+	b := tensor.New("B", 2, 2, 2)
+	c := tensor.New("C", 2, 2, 2)
+	b.Fill(2)
+	c.Fill(3)
+	s := MustParse("a = B(i,j,k) * C(i,j,k)")
+	got, err := Evaluate(s, map[string]*tensor.Dense{"B": b, "C": c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At() != 48 {
+		t.Fatalf("a = %v, want 48", got.At())
+	}
+}
+
+func TestEvaluateIncrementKeepsInitial(t *testing.T) {
+	a := tensor.New("A", 2)
+	a.Fill(10)
+	b := tensor.New("B", 2)
+	b.Fill(1)
+	s := MustParse("A(i) += B(i)")
+	got, err := Evaluate(s, map[string]*tensor.Dense{"A": a, "B": b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(0) != 11 || got.At(1) != 11 {
+		t.Fatalf("A = %v, want [11 11]", got.Data())
+	}
+}
+
+func TestEvaluateMissingTensor(t *testing.T) {
+	s := MustParse("A(i) = B(i)")
+	if _, err := Evaluate(s, map[string]*tensor.Dense{}); err == nil {
+		t.Fatal("expected error for missing input")
+	}
+}
+
+func TestFlopsPerPoint(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int
+	}{
+		{"A(i,j) = B(i,k) * C(k,j)", 2},            // mul + reduce add
+		{"A(i,l) = B(i,j,k) * C(j,l) * D(k,l)", 3}, // 2 muls + reduce add
+		{"A(i) = B(i)", 0},
+		{"A(i) += B(i)", 1},
+		{"a = B(i,j,k) * C(i,j,k)", 2},
+	}
+	for _, c := range cases {
+		if got := MustParse(c.src).FlopsPerPoint(); got != c.want {
+			t.Errorf("FlopsPerPoint(%q) = %d, want %d", c.src, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a tensor index notation statement such as
+//
+//	A(i,j) = B(i,k) * C(k,j)
+//	a = B(i,j,k) * C(i,j,k)
+//	A(i,l) += B(i,j,k) * C(j,l) * D(k,l)
+//
+// Supported operators are + and * with the usual precedence, plus
+// parentheses and floating-point literals.
+func Parse(src string) (*Assignment, error) {
+	p := &parser{src: src}
+	lhs, err := p.parseAccess()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	inc := false
+	switch {
+	case strings.HasPrefix(p.rest(), "+="):
+		inc = true
+		p.pos += 2
+	case strings.HasPrefix(p.rest(), "="):
+		p.pos++
+	default:
+		return nil, p.errorf("expected '=' or '+='")
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, p.errorf("unexpected trailing input %q", p.rest())
+	}
+	return &Assignment{LHS: lhs, RHS: rhs, Increment: inc}, nil
+}
+
+// MustParse is Parse but panics on error; intended for statements that are
+// compile-time constants in examples and tests.
+func MustParse(src string) *Assignment {
+	s, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) rest() string { return p.src[p.pos:] }
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("ir: parse error at offset %d of %q: %s", p.pos, p.src, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) parseIdent() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := rune(p.src[p.pos])
+		if unicode.IsLetter(c) || c == '_' || (p.pos > start && unicode.IsDigit(c)) {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", p.errorf("expected identifier")
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) parseAccess() (*Access, error) {
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	a := &Access{Tensor: name}
+	p.skipSpace()
+	if p.peek() != '(' {
+		return a, nil // scalar access
+	}
+	p.pos++
+	for {
+		v, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		a.Indices = append(a.Indices, IndexVar{Name: v})
+		p.skipSpace()
+		switch p.peek() {
+		case ',':
+			p.pos++
+		case ')':
+			p.pos++
+			return a, nil
+		default:
+			return nil, p.errorf("expected ',' or ')' in access %s", name)
+		}
+	}
+}
+
+// parseExpr handles + (lowest precedence).
+func (p *parser) parseExpr() (Expr, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.peek() != '+' {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = &Add{L: left, R: right}
+	}
+}
+
+// parseTerm handles *.
+func (p *parser) parseTerm() (Expr, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.peek() != '*' {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		left = &Mul{L: left, R: right}
+	}
+}
+
+func (p *parser) parseFactor() (Expr, error) {
+	p.skipSpace()
+	c := p.peek()
+	switch {
+	case c == '(':
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return nil, p.errorf("expected ')'")
+		}
+		p.pos++
+		return e, nil
+	case c >= '0' && c <= '9' || c == '.':
+		start := p.pos
+		for p.pos < len(p.src) {
+			c := p.src[p.pos]
+			if c >= '0' && c <= '9' || c == '.' || c == 'e' || c == 'E' ||
+				((c == '+' || c == '-') && p.pos > start && (p.src[p.pos-1] == 'e' || p.src[p.pos-1] == 'E')) {
+				p.pos++
+				continue
+			}
+			break
+		}
+		v, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+		if err != nil {
+			return nil, p.errorf("bad numeric literal %q", p.src[start:p.pos])
+		}
+		return &Literal{Value: v}, nil
+	default:
+		return p.parseAccess()
+	}
+}

@@ -1,0 +1,507 @@
+package legion
+
+import (
+	"fmt"
+	"sort"
+
+	"distal/internal/machine"
+	"distal/internal/sim"
+	"distal/internal/tensor"
+)
+
+// Options controls one execution of a program.
+type Options struct {
+	// Params is the simulated machine's cost model.
+	Params sim.Params
+	// Real executes leaf kernels on actual data (for correctness checks).
+	Real bool
+	// Synchronous disables communication/computation overlap: copies cannot
+	// start before the destination processor is idle, and a global barrier
+	// separates launches. Models non-overlapping baselines (ScaLAPACK, CTF).
+	Synchronous bool
+	// OwnerOnly restricts copy sources to persistent (owner) instances,
+	// disabling nearest-valid-copy source selection. Ablation knob.
+	OwnerOnly bool
+	// TransientWindow is how many transient instances per (region, leaf) are
+	// kept live for reuse (double buffering and systolic relay). Default 2.
+	TransientWindow int
+	// Trace records every copy for inspection.
+	Trace bool
+}
+
+// CopyRecord describes one scheduled copy (Trace mode).
+type CopyRecord struct {
+	Launch string
+	Point  []int
+	Region string
+	Rect   tensor.Rect
+	Src    int
+	Dst    int
+	Start  float64
+	End    float64
+}
+
+// Result summarizes one execution.
+type Result struct {
+	// Time is the simulated makespan in seconds.
+	Time float64
+	// Flops is the total floating-point work scheduled.
+	Flops float64
+	// IntraBytes and InterBytes are the communication volumes moved over
+	// intra-node links and the inter-node network.
+	IntraBytes int64
+	InterBytes int64
+	// Copies is the number of scheduled copy operations.
+	Copies int64
+	// PeakMemBytes is the largest per-leaf memory high-water mark.
+	PeakMemBytes int64
+	// OOM reports that a leaf memory exceeded its capacity, and which one.
+	OOM     bool
+	OOMLeaf int
+	Trace   []CopyRecord
+}
+
+// GFlopsPerSec returns achieved GFLOP/s across the whole machine.
+func (r *Result) GFlopsPerSec() float64 {
+	if r.Time <= 0 {
+		return 0
+	}
+	return r.Flops / r.Time / 1e9
+}
+
+type instance struct {
+	leaf       int
+	rect       tensor.Rect
+	validAt    float64
+	persistent bool
+	live       bool
+	bytes      int64
+}
+
+type regState struct {
+	region     *Region
+	persistent []*instance         // one per owning leaf
+	perLeaf    map[int][]*instance // all live instances by leaf
+	transient  []*instance         // live transient instances (all leaves)
+	transFIFO  map[int][]*instance // per-leaf eviction order
+}
+
+type accKey struct {
+	region string
+	leaf   int
+	rect   string
+}
+
+type executor struct {
+	prog   *Program
+	opt    Options
+	s      *sim.Sim
+	lg     machine.Grid
+	gpuMem bool
+	reg    map[*Region]*regState
+	accs   map[accKey]*accumulator
+	accSeq []*accumulator
+	trace  []CopyRecord
+
+	// Double-buffering throttle: copies for a leaf's task in launch s may
+	// not start before its task in launch s-TransientWindow completed
+	// (prefetch depth matches the instance window, as Legion's deferred
+	// execution is bounded by mapper-allocated staging buffers).
+	endHist    [][]float64 // ring of per-leaf task end times, one per recent launch
+	launchEnds []float64   // per-leaf task end times of the launch in progress
+}
+
+// Run executes the program under the given options.
+func Run(p *Program, opt Options) (*Result, error) {
+	if opt.TransientWindow == 0 {
+		opt.TransientWindow = 2
+	}
+	e := &executor{
+		prog:   p,
+		opt:    opt,
+		s:      sim.New(p.Machine, opt.Params),
+		lg:     p.Machine.LeafGrid(),
+		gpuMem: p.Machine.LeafMem() == machine.GPUFBMem,
+		reg:    map[*Region]*regState{},
+		accs:   map[accKey]*accumulator{},
+	}
+	if err := e.placeInitial(); err != nil {
+		return nil, err
+	}
+	for _, l := range p.Launches {
+		ends := make([]float64, e.lg.Size())
+		if n := len(e.endHist); n > 0 {
+			copy(ends, e.endHist[n-1]) // leaves without a task keep their last end
+		}
+		e.launchEnds = ends
+		if err := e.runLaunch(l); err != nil {
+			return nil, err
+		}
+		e.endHist = append(e.endHist, ends)
+		if len(e.endHist) > opt.TransientWindow {
+			e.endHist = e.endHist[1:]
+		}
+		if opt.Synchronous {
+			e.s.Barrier()
+		}
+	}
+	e.flushAccumulators()
+	res := &Result{
+		Time:         e.s.Makespan(),
+		Flops:        e.s.FlopsTotal,
+		IntraBytes:   e.s.IntraBytes,
+		InterBytes:   e.s.InterBytes,
+		Copies:       e.s.CopyCount,
+		PeakMemBytes: e.s.PeakMem(),
+		Trace:        e.trace,
+	}
+	res.OOM, res.OOMLeaf, _ = e.s.OOM()
+	return res, nil
+}
+
+// placeInitial creates the persistent owner instances dictated by each
+// region's placement and charges their memory.
+func (e *executor) placeInitial() error {
+	for _, r := range e.prog.Regions {
+		if e.opt.Real && r.Data == nil {
+			return fmt.Errorf("legion: Real execution requires data bound to region %s", r.Name)
+		}
+		rs := &regState{
+			region:    r,
+			perLeaf:   map[int][]*instance{},
+			transFIFO: map[int][]*instance{},
+		}
+		n := e.lg.Size()
+		for leaf := 0; leaf < n; leaf++ {
+			rect, ok := r.OwnerRect(e.prog.Machine, e.lg.Delinearize(leaf))
+			if !ok || rect.Empty() {
+				continue
+			}
+			inst := &instance{leaf: leaf, rect: rect, persistent: true, live: true, bytes: r.Bytes(rect)}
+			rs.persistent = append(rs.persistent, inst)
+			rs.perLeaf[leaf] = append(rs.perLeaf[leaf], inst)
+			e.s.Alloc(leaf, inst.bytes)
+		}
+		e.reg[r] = rs
+	}
+	return nil
+}
+
+func (e *executor) runLaunch(l *Launch) error {
+	mapPoint := l.MapPoint
+	if mapPoint == nil {
+		mapPoint = defaultMapPoint(l.Domain, e.lg)
+	}
+	n := l.Domain.Size()
+	for i := 0; i < n; i++ {
+		point := l.Domain.Delinearize(i)
+		leaf := mapPoint(point)
+		if leaf < 0 || leaf >= e.lg.Size() {
+			return fmt.Errorf("legion: launch %s maps point %v to leaf %d outside the machine", l.Name, point, leaf)
+		}
+		reqs := l.Reqs(point)
+		issueAt := 0.0
+		if e.opt.Synchronous {
+			issueAt = e.s.ProcFree(leaf)
+		} else if len(e.endHist) >= e.opt.TransientWindow {
+			// Prefetch depth = TransientWindow launches: the copy may start
+			// once the leaf's task TransientWindow launches ago finished.
+			issueAt = e.endHist[0][leaf]
+		}
+		taskReady := issueAt
+		var ctx *Ctx
+		if e.opt.Real {
+			ctx = &Ctx{Point: point, reads: map[string]*Region{}, writes: map[string]*accumulator{}}
+		}
+		var taskAccs []*accumulator
+		for _, q := range reqs {
+			if q.Rect.Empty() {
+				continue
+			}
+			switch q.Priv {
+			case ReadOnly:
+				at, err := e.ensureLocal(l, point, q, leaf, issueAt)
+				if err != nil {
+					return err
+				}
+				if at > taskReady {
+					taskReady = at
+				}
+				if ctx != nil {
+					ctx.reads[q.Region.Name] = q.Region
+				}
+			default:
+				acc := e.writeTarget(q, leaf)
+				taskAccs = append(taskAccs, acc)
+				if ctx != nil {
+					ctx.writes[q.Region.Name] = acc
+				}
+			}
+		}
+		if ctx != nil && l.Kernel.Run != nil {
+			l.Kernel.Run(ctx)
+		}
+		flops, bytes := 0.0, 0.0
+		if l.Kernel.Flops != nil {
+			flops = l.Kernel.Flops(point)
+		}
+		if l.Kernel.MemBytes != nil {
+			bytes = l.Kernel.MemBytes(point)
+		}
+		end := e.s.Compute(leaf, flops, bytes, taskReady)
+		if e.launchEnds != nil && end > e.launchEnds[leaf] {
+			e.launchEnds[leaf] = end
+		}
+		for _, a := range taskAccs {
+			if end > a.lastUse {
+				a.lastUse = end
+			}
+		}
+	}
+	return nil
+}
+
+// ensureLocal makes the data of requirement q available in leaf's memory and
+// returns the time at which it is valid there.
+func (e *executor) ensureLocal(l *Launch, point []int, q Req, leaf int, issueAt float64) (float64, error) {
+	rs := e.reg[q.Region]
+	// Fast path: an instance on this leaf already covers the rect.
+	for _, inst := range rs.perLeaf[leaf] {
+		if inst.live && inst.rect.ContainsRect(q.Rect) {
+			return maxf(inst.validAt, issueAt), nil
+		}
+	}
+	// Gather candidate source instances that fully contain the rect.
+	var candidates []*instance
+	for _, inst := range rs.persistent {
+		if inst.rect.ContainsRect(q.Rect) {
+			candidates = append(candidates, inst)
+		}
+	}
+	if !e.opt.OwnerOnly {
+		for _, inst := range rs.transient {
+			if inst.live && inst.rect.ContainsRect(q.Rect) {
+				candidates = append(candidates, inst)
+			}
+		}
+	}
+	bytes := q.Region.Bytes(q.Rect)
+	if len(candidates) == 0 {
+		// No single instance holds the whole rect: gather piecewise from the
+		// persistent owners.
+		return e.gather(l, point, q, leaf, issueAt, bytes)
+	}
+	replicas := len(candidates)
+	best, bestEnd := candidates[0], 0.0
+	for i, c := range candidates {
+		end := e.s.CopyEstimate(c.leaf, leaf, bytes, maxf(issueAt, c.validAt), e.gpuMem, replicas)
+		if i == 0 || end < bestEnd {
+			best, bestEnd = c, end
+		}
+	}
+	end := e.s.Copy(best.leaf, leaf, bytes, maxf(issueAt, best.validAt), e.gpuMem, replicas)
+	e.record(l, point, q, best.leaf, leaf, bestEnd, end)
+	e.installTransient(rs, leaf, q.Rect, end, bytes)
+	return end, nil
+}
+
+// gather copies the pieces of q.Rect held by persistent owners and installs
+// a combined transient instance.
+func (e *executor) gather(l *Launch, point []int, q Req, leaf int, issueAt float64, bytes int64) (float64, error) {
+	rs := e.reg[q.Region]
+	covered := int64(0)
+	latest := issueAt
+	for _, inst := range rs.persistent {
+		piece := inst.rect.Intersect(q.Rect)
+		if piece.Empty() {
+			continue
+		}
+		pb := q.Region.Bytes(piece)
+		covered += pb
+		if inst.leaf == leaf {
+			latest = maxf(latest, inst.validAt)
+			continue
+		}
+		end := e.s.Copy(inst.leaf, leaf, pb, maxf(issueAt, inst.validAt), e.gpuMem, 1)
+		e.record(l, point, Req{Region: q.Region, Rect: piece, Priv: q.Priv}, inst.leaf, leaf, issueAt, end)
+		latest = maxf(latest, end)
+	}
+	if covered < bytes {
+		return 0, fmt.Errorf("legion: no instances cover %s of region %s (launch %s point %v)",
+			q.Rect, q.Region.Name, l.Name, point)
+	}
+	e.installTransient(rs, leaf, q.Rect, latest, bytes)
+	return latest, nil
+}
+
+func (e *executor) installTransient(rs *regState, leaf int, rect tensor.Rect, validAt float64, bytes int64) {
+	inst := &instance{leaf: leaf, rect: rect, validAt: validAt, live: true, bytes: bytes}
+	rs.perLeaf[leaf] = append(rs.perLeaf[leaf], inst)
+	rs.transient = append(rs.transient, inst)
+	rs.transFIFO[leaf] = append(rs.transFIFO[leaf], inst)
+	e.s.Alloc(leaf, bytes)
+	for len(rs.transFIFO[leaf]) > e.opt.TransientWindow {
+		old := rs.transFIFO[leaf][0]
+		rs.transFIFO[leaf] = rs.transFIFO[leaf][1:]
+		old.live = false
+		e.s.Free(leaf, old.bytes)
+		rs.perLeaf[leaf] = removeInst(rs.perLeaf[leaf], old)
+		rs.transient = removeInst(rs.transient, old)
+	}
+}
+
+func removeInst(s []*instance, x *instance) []*instance {
+	for i, v := range s {
+		if v == x {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// writeTarget returns the accumulator for a write requirement, preferring
+// in-place updates when the computing leaf owns the written rect.
+func (e *executor) writeTarget(q Req, leaf int) *accumulator {
+	key := accKey{region: q.Region.Name, leaf: leaf, rect: q.Rect.String()}
+	if a, ok := e.accs[key]; ok {
+		return a
+	}
+	inPlace := false
+	rect, ok := q.Region.OwnerRect(e.prog.Machine, e.lg.Delinearize(leaf))
+	if ok && rect.ContainsRect(q.Rect) {
+		inPlace = true
+	}
+	a := &accumulator{
+		region:  q.Region,
+		rect:    q.Rect,
+		combine: q.Priv,
+		inPlace: inPlace,
+		leaf:    leaf,
+	}
+	if !inPlace {
+		e.s.Alloc(leaf, q.Region.Bytes(q.Rect))
+		if e.opt.Real {
+			shape := make([]int, q.Rect.Rank())
+			for d := range shape {
+				shape[d] = q.Rect.Extent(d)
+			}
+			a.data = tensor.New(q.Region.Name+"_acc", shape...)
+		}
+	}
+	e.accs[key] = a
+	e.accSeq = append(e.accSeq, a)
+	return a
+}
+
+// flushAccumulators folds every non-in-place accumulator back into the
+// owner instances of its region. Groups of ReduceSum accumulators covering
+// the same rect are merged by a binary combining tree (as Legion's reduction
+// trees do) before the final copy to the owner; other privileges copy
+// directly. Copy and combine costs are charged; in Real mode each
+// accumulator's data is combined into the canonical tensor.
+func (e *executor) flushAccumulators() {
+	if e.opt.Real {
+		for _, a := range e.accSeq {
+			if a.inPlace {
+				continue
+			}
+			a.rect.Points(func(p []int) {
+				v := a.data.At(local(p, a.rect)...)
+				if a.combine == ReduceSum {
+					a.region.Data.Add(v, p...)
+				} else {
+					a.region.Data.Set(v, p...)
+				}
+			})
+		}
+	}
+	// Group same-rect ReduceSum accumulators per region for tree merging.
+	type groupKey struct{ region, rect string }
+	groups := map[groupKey][]*accumulator{}
+	var order []groupKey
+	for _, a := range e.accSeq {
+		if a.inPlace {
+			continue
+		}
+		k := groupKey{a.region.Name, a.rect.String()}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], a)
+	}
+	for _, k := range order {
+		accs := groups[k]
+		replicas := len(accs)
+		region := accs[0].region
+		rect := accs[0].rect
+		bytes := region.Bytes(rect)
+		if accs[0].combine == ReduceSum && len(accs) > 1 {
+			// Binary combining tree: halve the accumulator set each round.
+			for len(accs) > 1 {
+				half := (len(accs) + 1) / 2
+				for i := half; i < len(accs); i++ {
+					src, dst := accs[i], accs[i-half]
+					ready := maxf(src.lastUse, dst.lastUse)
+					end := e.s.Copy(src.leaf, dst.leaf, bytes, ready, e.gpuMem, replicas)
+					e.record(nil, nil, Req{Region: region, Rect: rect, Priv: ReduceSum}, src.leaf, dst.leaf, ready, end)
+					// The destination folds the contribution in.
+					dst.lastUse = e.s.Compute(dst.leaf, float64(rect.Volume()), float64(bytes), end)
+				}
+				accs = accs[:half]
+			}
+		}
+		// Copy (or piece-wise scatter) the surviving accumulators to the
+		// owner instances.
+		rs := e.reg[region]
+		for _, a := range accs {
+			for _, owner := range rs.persistent {
+				piece := owner.rect.Intersect(a.rect)
+				if piece.Empty() || owner.leaf == a.leaf {
+					continue
+				}
+				end := e.s.Copy(a.leaf, owner.leaf, region.Bytes(piece), a.lastUse, e.gpuMem, replicas)
+				e.record(nil, nil, Req{Region: region, Rect: piece, Priv: a.combine}, a.leaf, owner.leaf, a.lastUse, end)
+			}
+		}
+	}
+	e.accSeq = nil
+	e.accs = map[accKey]*accumulator{}
+}
+
+func (e *executor) record(l *Launch, point []int, q Req, src, dst int, start, end float64) {
+	if !e.opt.Trace {
+		return
+	}
+	name := "flush"
+	if l != nil {
+		name = l.Name
+	}
+	e.trace = append(e.trace, CopyRecord{
+		Launch: name,
+		Point:  append([]int(nil), point...),
+		Region: q.Region.Name,
+		Rect:   q.Rect,
+		Src:    src,
+		Dst:    dst,
+		Start:  start,
+		End:    end,
+	})
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SortTrace orders a trace by start time then region for stable golden
+// comparisons.
+func SortTrace(tr []CopyRecord) {
+	sort.SliceStable(tr, func(i, j int) bool {
+		if tr[i].Start != tr[j].Start {
+			return tr[i].Start < tr[j].Start
+		}
+		return tr[i].Region < tr[j].Region
+	})
+}

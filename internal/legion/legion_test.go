@@ -1,0 +1,366 @@
+package legion
+
+import (
+	"testing"
+
+	"distal/internal/distnot"
+	"distal/internal/machine"
+	"distal/internal/sim"
+	"distal/internal/tensor"
+)
+
+func flatMachine(n int) *machine.Machine {
+	return machine.New(machine.NewGrid(n), machine.SysMem, machine.CPU)
+}
+
+func testParams() sim.Params {
+	return sim.Params{
+		PeakFlops:    100,
+		MemBandwidth: 1e18,
+		MemCapacity:  1 << 40,
+		IntraBW:      10,
+		IntraLatency: 0,
+		InterBW:      10,
+		InterLatency: 0,
+	}
+}
+
+// vectorAddProgram builds A(i) = B(i) + C(i) with all vectors tiled over a
+// 1-D machine: an owner-computes program with no communication.
+func vectorAddProgram(n, procs int) (*Program, *tensor.Dense, *tensor.Dense, *tensor.Dense) {
+	m := flatMachine(procs)
+	place := distnot.NewPlacement(distnot.MustParse("x->x"))
+	a := NewRegion("A", []int{n}, place)
+	b := NewRegion("B", []int{n}, place)
+	c := NewRegion("C", []int{n}, place)
+	ta, tb, tc := tensor.New("A", n), tensor.New("B", n), tensor.New("C", n)
+	tb.FillRandom(1)
+	tc.FillRandom(2)
+	a.Bind(ta)
+	b.Bind(tb)
+	c.Bind(tc)
+	rectOf := func(p int) tensor.Rect {
+		lo, hi := tensor.BlockRange(n, procs, p)
+		return tensor.NewRect([]int{lo}, []int{hi})
+	}
+	launch := &Launch{
+		Name:   "add",
+		Domain: machine.NewGrid(procs),
+		Reqs: func(pt []int) []Req {
+			r := rectOf(pt[0])
+			return []Req{
+				{Region: a, Rect: r, Priv: WriteDiscard},
+				{Region: b, Rect: r, Priv: ReadOnly},
+				{Region: c, Rect: r, Priv: ReadOnly},
+			}
+		},
+		Kernel: Kernel{
+			Flops: func(pt []int) float64 { return float64(rectOf(pt[0]).Volume()) },
+			Run: func(ctx *Ctx) {
+				rectOf(ctx.Point[0]).Points(func(p []int) {
+					ctx.WriteSet("A", ctx.ReadAt("B", p...)+ctx.ReadAt("C", p...), p...)
+				})
+			},
+		},
+	}
+	return &Program{Name: "vadd", Machine: m, Regions: []*Region{a, b, c}, Launches: []*Launch{launch}}, ta, tb, tc
+}
+
+func TestOwnerComputesNoCommunication(t *testing.T) {
+	prog, ta, tb, tc := vectorAddProgram(12, 4)
+	res, err := Run(prog, Options{Params: testParams(), Real: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Copies != 0 || res.InterBytes != 0 {
+		t.Fatalf("owner-computes should not communicate: copies=%d bytes=%d", res.Copies, res.InterBytes)
+	}
+	for i := 0; i < 12; i++ {
+		want := tb.At(i) + tc.At(i)
+		if d := ta.At(i) - want; d > 1e-12 || d < -1e-12 {
+			t.Fatalf("A(%d) = %v, want %v", i, ta.At(i), want)
+		}
+	}
+	// 4 procs x 3 flops each, perfectly parallel at 100 flop/s.
+	if res.Time != 0.03 {
+		t.Fatalf("time = %v, want 0.03", res.Time)
+	}
+}
+
+// TestCommunicationWhenNotOwner: compute A on proc 0 only; pieces of B must
+// be fetched from their owners.
+func TestCommunicationWhenNotOwner(t *testing.T) {
+	n, procs := 8, 4
+	m := flatMachine(procs)
+	place := distnot.NewPlacement(distnot.MustParse("x->x"))
+	b := NewRegion("B", []int{n}, place)
+	a := NewRegion("A", []int{1}, nil) // scalar-ish output on leaf 0
+	ta, tb := tensor.New("A", 1), tensor.New("B", n)
+	tb.FillRandom(3)
+	a.Bind(ta)
+	b.Bind(tb)
+	launch := &Launch{
+		Name:   "sum",
+		Domain: machine.NewGrid(1),
+		Reqs: func(pt []int) []Req {
+			return []Req{
+				{Region: a, Rect: tensor.FullRect([]int{1}), Priv: ReduceSum},
+				{Region: b, Rect: tensor.FullRect([]int{n}), Priv: ReadOnly},
+			}
+		},
+		Kernel: Kernel{
+			Flops: func(pt []int) float64 { return float64(n) },
+			Run: func(ctx *Ctx) {
+				s := 0.0
+				for i := 0; i < n; i++ {
+					s += ctx.ReadAt("B", i)
+				}
+				ctx.WriteAdd("A", s, 0)
+			},
+		},
+	}
+	prog := &Program{Name: "sum", Machine: m, Regions: []*Region{a, b}, Launches: []*Launch{launch}}
+	res, err := Run(prog, Options{Params: testParams(), Real: true, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Proc 0 owns B[0:2]; pieces from procs 1..3 must be gathered.
+	if res.Copies != 3 {
+		t.Fatalf("copies = %d, want 3", res.Copies)
+	}
+	if got, want := ta.At(0), tb.Sum(); got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+// TestReductionFlush: two tasks on different procs reduce into a tile owned
+// by proc 0.
+func TestReductionFlush(t *testing.T) {
+	procs := 2
+	m := flatMachine(procs)
+	// A lives entirely on proc 0.
+	aPlace := distnot.NewPlacement(&distnot.Statement{
+		TensorDims:  []string{"x"},
+		MachineDims: []distnot.MachineName{{Kind: distnot.Fixed, Index: 0}},
+	})
+	a := NewRegion("A", []int{4}, aPlace)
+	ta := tensor.New("A", 4)
+	a.Bind(ta)
+	launch := &Launch{
+		Name:   "partial",
+		Domain: machine.NewGrid(procs),
+		Reqs: func(pt []int) []Req {
+			return []Req{{Region: a, Rect: tensor.FullRect([]int{4}), Priv: ReduceSum}}
+		},
+		Kernel: Kernel{
+			Flops: func(pt []int) float64 { return 4 },
+			Run: func(ctx *Ctx) {
+				for i := 0; i < 4; i++ {
+					ctx.WriteAdd("A", float64(ctx.Point[0]+1), i)
+				}
+			},
+		},
+	}
+	prog := &Program{Name: "red", Machine: m, Regions: []*Region{a}, Launches: []*Launch{launch}}
+	res, err := Run(prog, Options{Params: testParams(), Real: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Proc 0 writes in place (owner); proc 1 reduces through an accumulator
+	// flushed with one copy.
+	if res.Copies != 1 {
+		t.Fatalf("copies = %d, want 1 reduction copy", res.Copies)
+	}
+	for i := 0; i < 4; i++ {
+		if ta.At(i) != 3 { // 1 (proc0) + 2 (proc1)
+			t.Fatalf("A(%d) = %v, want 3", i, ta.At(i))
+		}
+	}
+}
+
+// TestNearestSourceRelay: with three procs, two consumers of the same remote
+// piece; the second consumer should be able to fetch from the first (relay)
+// rather than the owner when that is cheaper.
+func TestNearestSourceRelay(t *testing.T) {
+	n, procs := 4, 3
+	m := flatMachine(procs)
+	// B lives entirely on proc 0.
+	bPlace := distnot.NewPlacement(&distnot.Statement{
+		TensorDims:  []string{"x"},
+		MachineDims: []distnot.MachineName{{Kind: distnot.Fixed, Index: 0}},
+	})
+	b := NewRegion("B", []int{n}, bPlace)
+	a := NewRegion("A", []int{procs}, distnot.NewPlacement(distnot.MustParse("x->x")))
+	full := tensor.FullRect([]int{n})
+	mk := func(name string, dst int) *Launch {
+		return &Launch{
+			Name:     name,
+			Domain:   machine.NewGrid(1),
+			MapPoint: func(pt []int) int { return dst },
+			Reqs: func(pt []int) []Req {
+				return []Req{
+					{Region: a, Rect: tensor.NewRect([]int{dst}, []int{dst + 1}), Priv: WriteDiscard},
+					{Region: b, Rect: full, Priv: ReadOnly},
+				}
+			},
+			Kernel: Kernel{Flops: func(pt []int) float64 { return 1 }},
+		}
+	}
+	prog := &Program{Name: "relay", Machine: m, Regions: []*Region{a, b},
+		Launches: []*Launch{mk("t1", 1), mk("t2", 2)}}
+	res, err := Run(prog, Options{Params: testParams(), Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != 2 {
+		t.Fatalf("trace = %v", res.Trace)
+	}
+	if res.Trace[0].Src != 0 || res.Trace[0].Dst != 1 {
+		t.Fatalf("first copy = %+v", res.Trace[0])
+	}
+	// Proc 0's out-port is busy until the first copy ends; fetching from
+	// proc 1's fresh instance finishes no later, so the relay must pick a
+	// source that gives the earliest completion (either is fine here), but
+	// with OwnerOnly it must be proc 0.
+	resOwner, err := Run(prog, Options{Params: testParams(), Trace: true, OwnerOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resOwner.Trace[1].Src != 0 {
+		t.Fatalf("OwnerOnly second copy src = %d, want 0", resOwner.Trace[1].Src)
+	}
+	if res.Time > resOwner.Time {
+		t.Fatalf("nearest-source should not be slower: %v vs %v", res.Time, resOwner.Time)
+	}
+}
+
+// TestOverlapVsSynchronous: communication should hide under computation in
+// the default mode and serialize in Synchronous mode.
+func TestOverlapVsSynchronous(t *testing.T) {
+	n, procs := 8, 2
+	m := flatMachine(procs)
+	bPlace := distnot.NewPlacement(&distnot.Statement{
+		TensorDims:  []string{"x"},
+		MachineDims: []distnot.MachineName{{Kind: distnot.Fixed, Index: 0}},
+	})
+	b := NewRegion("B", []int{n}, bPlace)
+	a := NewRegion("A", []int{2}, distnot.NewPlacement(distnot.MustParse("x->x")))
+	// Two sequential launches on proc 1, each reading a different chunk of B
+	// and computing for a long time: chunk 2's copy can overlap chunk 1's
+	// compute only in async mode.
+	mk := func(name string, lo int) *Launch {
+		return &Launch{
+			Name:     name,
+			Domain:   machine.NewGrid(1),
+			MapPoint: func(pt []int) int { return 1 },
+			Reqs: func(pt []int) []Req {
+				return []Req{
+					{Region: a, Rect: tensor.NewRect([]int{1}, []int{2}), Priv: ReduceSum},
+					{Region: b, Rect: tensor.NewRect([]int{lo}, []int{lo + 4}), Priv: ReadOnly},
+				}
+			},
+			Kernel: Kernel{Flops: func(pt []int) float64 { return 1000 }},
+		}
+	}
+	prog := &Program{Name: "ovl", Machine: m, Regions: []*Region{a, b},
+		Launches: []*Launch{mk("s0", 0), mk("s1", 4)}}
+	async, err := Run(prog, Options{Params: testParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncRes, err := Run(prog, Options{Params: testParams(), Synchronous: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if async.Time >= syncRes.Time {
+		t.Fatalf("overlap should be faster: async %v vs sync %v", async.Time, syncRes.Time)
+	}
+}
+
+// TestTransientEviction: the per-leaf window keeps memory bounded.
+func TestTransientEviction(t *testing.T) {
+	n, chunks := 64, 8
+	m := flatMachine(2)
+	bPlace := distnot.NewPlacement(&distnot.Statement{
+		TensorDims:  []string{"x"},
+		MachineDims: []distnot.MachineName{{Kind: distnot.Fixed, Index: 0}},
+	})
+	b := NewRegion("B", []int{n}, bPlace)
+	a := NewRegion("A", []int{2}, distnot.NewPlacement(distnot.MustParse("x->x")))
+	var launches []*Launch
+	for s := 0; s < chunks; s++ {
+		lo := s * (n / chunks)
+		launches = append(launches, &Launch{
+			Name:     "step",
+			Domain:   machine.NewGrid(1),
+			MapPoint: func(pt []int) int { return 1 },
+			Reqs: func(pt []int) []Req {
+				return []Req{
+					{Region: a, Rect: tensor.NewRect([]int{1}, []int{2}), Priv: ReduceSum},
+					{Region: b, Rect: tensor.NewRect([]int{lo}, []int{lo + n/chunks}), Priv: ReadOnly},
+				}
+			},
+			Kernel: Kernel{Flops: func(pt []int) float64 { return 1 }},
+		})
+	}
+	prog := &Program{Name: "evict", Machine: m, Regions: []*Region{a, b}, Launches: launches}
+	res, err := Run(prog, Options{Params: testParams(), TransientWindow: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leaf 0 holds all of B persistently (512B) plus its A piece (8B).
+	// Leaf 1's transient footprint (8B A + 8B accumulator + 2 chunks of 64B)
+	// must stay below that thanks to eviction; without the window it would
+	// reach 8+8+8*64 = 528 and dominate.
+	if res.PeakMemBytes > 520 {
+		t.Fatalf("peak mem = %d, want <= 520", res.PeakMemBytes)
+	}
+	if res.Copies != int64(chunks) {
+		t.Fatalf("copies = %d, want %d", res.Copies, chunks)
+	}
+}
+
+// TestOOMDetection: a tiny memory capacity must flag OOM.
+func TestOOMDetection(t *testing.T) {
+	prog, _, _, _ := vectorAddProgram(1024, 2)
+	p := testParams()
+	p.MemCapacity = 100 // bytes; each proc holds 3 x 512 x 8 bytes
+	res, err := Run(prog, Options{Params: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OOM {
+		t.Fatal("expected OOM")
+	}
+}
+
+func TestRealRequiresBoundData(t *testing.T) {
+	m := flatMachine(1)
+	a := NewRegion("A", []int{4}, nil)
+	prog := &Program{Name: "x", Machine: m, Regions: []*Region{a}}
+	if _, err := Run(prog, Options{Params: testParams(), Real: true}); err == nil {
+		t.Fatal("expected error for unbound region in Real mode")
+	}
+}
+
+func TestGFlopsPerSec(t *testing.T) {
+	r := &Result{Time: 2, Flops: 4e9}
+	if r.GFlopsPerSec() != 2 {
+		t.Fatalf("GFlopsPerSec = %v, want 2", r.GFlopsPerSec())
+	}
+	if (&Result{}).GFlopsPerSec() != 0 {
+		t.Fatal("zero-time result should report 0")
+	}
+}
+
+func TestRegionOwnerRectNilPlacement(t *testing.T) {
+	m := flatMachine(2)
+	r := NewRegion("R", []int{4}, nil)
+	if _, ok := r.OwnerRect(m, []int{1}); ok {
+		t.Fatal("nil placement should live only on leaf 0")
+	}
+	rect, ok := r.OwnerRect(m, []int{0})
+	if !ok || !rect.Equal(tensor.FullRect([]int{4})) {
+		t.Fatalf("rect = %v", rect)
+	}
+}

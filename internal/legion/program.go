@@ -1,0 +1,139 @@
+package legion
+
+import (
+	"fmt"
+
+	"distal/internal/machine"
+	"distal/internal/tensor"
+)
+
+// Kernel is the leaf computation of an index-launch point.
+type Kernel struct {
+	// Flops returns the floating-point operations performed at a point.
+	Flops func(point []int) float64
+	// MemBytes returns the local memory traffic of the point in bytes
+	// (roofline model input). Zero means compute-bound.
+	MemBytes func(point []int) float64
+	// Run performs the real computation (Real mode only). It may be nil for
+	// kernels only ever used in simulation.
+	Run func(ctx *Ctx)
+}
+
+// Launch is an index task launch: one task per point of Domain, each with
+// point-dependent region requirements (Legion projection functors).
+type Launch struct {
+	Name   string
+	Domain machine.Grid
+	// MapPoint places a domain point on a leaf processor (flat leaf index).
+	// Nil uses the default mapper: the domain is linearized onto the leaf
+	// grid round-robin.
+	MapPoint func(point []int) int
+	// Reqs computes the region requirements of the task at a point.
+	Reqs   func(point []int) []Req
+	Kernel Kernel
+}
+
+// Program is a compiled DISTAL kernel: an ordered sequence of index
+// launches over a set of regions on a machine.
+type Program struct {
+	Name     string
+	Machine  *machine.Machine
+	Regions  []*Region
+	Launches []*Launch
+}
+
+// RegionByName returns the region with the given name, or nil.
+func (p *Program) RegionByName(name string) *Region {
+	for _, r := range p.Regions {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// defaultMapPoint linearizes a launch-domain point onto the leaf grid. When
+// the domain is smaller than the machine the low leaf indices are used; when
+// larger, tasks wrap around (round-robin).
+func defaultMapPoint(domain, leaves machine.Grid) func(point []int) int {
+	n := leaves.Size()
+	return func(point []int) int { return domain.Linearize(point) % n }
+}
+
+// Ctx gives a Real-mode leaf kernel access to the data of its region
+// requirements in global coordinates.
+type Ctx struct {
+	Point  []int
+	reads  map[string]*Region
+	writes map[string]*accumulator
+}
+
+// accumulator is a task-local output buffer covering a rect of a region. It
+// is combined into the canonical region data when reductions flush.
+type accumulator struct {
+	region  *Region
+	rect    tensor.Rect
+	data    *tensor.Dense // indexed by local coordinates (global - rect.Lo)
+	combine Privilege     // ReduceSum accumulates; others overwrite
+	inPlace bool          // writes go directly to the canonical data
+	leaf    int
+	lastUse float64
+}
+
+// ReadAt returns the value of region name at the global coordinate p.
+// Reading is always satisfied from the canonical data: read-only inputs have
+// a single version for the duration of a program, so every valid instance
+// holds identical contents.
+func (c *Ctx) ReadAt(name string, p ...int) float64 {
+	r, ok := c.reads[name]
+	if !ok || r.Data == nil {
+		panic(fmt.Sprintf("legion: task has no readable requirement on %s", name))
+	}
+	return r.Data.At(p...)
+}
+
+// WriteAdd accumulates v into region name at the global coordinate p.
+func (c *Ctx) WriteAdd(name string, v float64, p ...int) {
+	a := c.acc(name)
+	if a.inPlace {
+		a.region.Data.Add(v, p...)
+		return
+	}
+	a.data.Add(v, local(p, a.rect)...)
+}
+
+// WriteSet stores v into region name at the global coordinate p.
+func (c *Ctx) WriteSet(name string, v float64, p ...int) {
+	a := c.acc(name)
+	if a.inPlace {
+		a.region.Data.Set(v, p...)
+		return
+	}
+	a.data.Set(v, local(p, a.rect)...)
+}
+
+// ReadLocalAt reads back a value previously written by this task's
+// write/reduce requirement (needed by += kernels that read their output).
+func (c *Ctx) ReadLocalAt(name string, p ...int) float64 {
+	a := c.acc(name)
+	if a.inPlace {
+		return a.region.Data.At(p...)
+	}
+	return a.data.At(local(p, a.rect)...)
+}
+
+func (c *Ctx) acc(name string) *accumulator {
+	a, ok := c.writes[name]
+	if !ok {
+		panic(fmt.Sprintf("legion: task has no writable requirement on %s", name))
+	}
+	return a
+}
+
+func local(p []int, rect tensor.Rect) []int {
+	out := make([]int, len(p))
+	for d := range p {
+		out[d] = p[d] - rect.Lo[d]
+	}
+	return out
+}

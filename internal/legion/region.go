@@ -1,0 +1,119 @@
+// Package legion is a miniature reimplementation of the parts of the Legion
+// runtime system that DISTAL targets (§6): logical regions over
+// hyper-rectangular index spaces, partitions induced by data distributions,
+// physical instances living in leaf-processor memories, tasks grouped into
+// index launches with region requirements and privileges, a mapper that
+// places tasks on processors, and implicit communication realized by copies
+// from the nearest valid instance.
+//
+// Programs execute in two modes sharing one code path:
+//
+//   - Real: leaf kernels compute on actual float64 data, and the result can
+//     be compared against the reference evaluator. Used for correctness.
+//   - Simulated (the default): data is never materialized; the same task
+//     graph is walked and every copy and task is priced by internal/sim.
+//     Used to reproduce the paper's large-scale experiments.
+package legion
+
+import (
+	"fmt"
+
+	"distal/internal/distnot"
+	"distal/internal/machine"
+	"distal/internal/tensor"
+)
+
+// Privilege describes how a task uses a region requirement, mirroring
+// Legion's privilege system.
+type Privilege int
+
+const (
+	// ReadOnly data may be replicated freely.
+	ReadOnly Privilege = iota
+	// ReadWrite data is updated in place by its owner.
+	ReadWrite
+	// WriteDiscard data is overwritten without reading.
+	WriteDiscard
+	// ReduceSum data is accumulated with + and folded into the owner
+	// instance when the program's reductions are flushed.
+	ReduceSum
+)
+
+func (p Privilege) String() string {
+	switch p {
+	case ReadOnly:
+		return "RO"
+	case ReadWrite:
+		return "RW"
+	case WriteDiscard:
+		return "WD"
+	case ReduceSum:
+		return "Red+"
+	default:
+		return fmt.Sprintf("Privilege(%d)", int(p))
+	}
+}
+
+// Region is a logical region: a named dense index space of float64 values.
+// In Real mode Data holds the canonical contents; simulated runs never touch
+// it.
+type Region struct {
+	Name  string
+	Shape []int
+
+	// Placement is the region's initial data distribution onto the target
+	// machine, from the tensor's format. Nil means the region is born on
+	// leaf 0 (undistributed).
+	Placement *distnot.Placement
+
+	// Data is the canonical backing store (Real mode only).
+	Data *tensor.Dense
+}
+
+// NewRegion creates a region with the given shape and placement.
+func NewRegion(name string, shape []int, placement *distnot.Placement) *Region {
+	return &Region{Name: name, Shape: shape, Placement: placement}
+}
+
+// Bytes returns the payload size of a rect of this region.
+func (r *Region) Bytes(rect tensor.Rect) int64 { return int64(rect.Volume()) * 8 }
+
+// Bind attaches canonical data for Real-mode execution. The tensor's shape
+// must match the region's.
+func (r *Region) Bind(t *tensor.Dense) {
+	if len(t.Shape()) != len(r.Shape) {
+		panic(fmt.Sprintf("legion: bind rank mismatch for region %s", r.Name))
+	}
+	for d := range r.Shape {
+		if t.Shape()[d] != r.Shape[d] {
+			panic(fmt.Sprintf("legion: bind shape mismatch for region %s: %v vs %v", r.Name, t.Shape(), r.Shape))
+		}
+	}
+	r.Data = t
+}
+
+// Req is a region requirement of one task: the sub-rectangle accessed and
+// the privilege with which it is accessed.
+type Req struct {
+	Region *Region
+	Rect   tensor.Rect
+	Priv   Privilege
+}
+
+func (q Req) String() string {
+	return fmt.Sprintf("%s[%s %s]", q.Region.Name, q.Rect, q.Priv)
+}
+
+// OwnerRect returns the sub-rectangle of the region owned by the given leaf
+// processor under the region's placement, and whether the leaf owns one.
+func (r *Region) OwnerRect(m *machine.Machine, leaf []int) (tensor.Rect, bool) {
+	if r.Placement == nil {
+		for _, x := range leaf {
+			if x != 0 {
+				return tensor.Rect{}, false
+			}
+		}
+		return tensor.FullRect(r.Shape), true
+	}
+	return r.Placement.RectFor(r.Shape, m, leaf)
+}

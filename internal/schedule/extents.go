@@ -1,0 +1,243 @@
+package schedule
+
+import "fmt"
+
+// Extents resolves the extent of every variable in the schedule given the
+// extents of the statement's original variables (from tensor shapes).
+func (s *Schedule) Extents(orig map[string]int) (map[string]int, error) {
+	out := map[string]int{}
+	var extentOf func(name string) (int, error)
+	extentOf = func(name string) (int, error) {
+		if e, ok := out[name]; ok {
+			return e, nil
+		}
+		v, ok := s.vars[name]
+		if !ok {
+			return 0, fmt.Errorf("schedule: unknown variable %s", name)
+		}
+		var e int
+		switch v.Kind {
+		case Original:
+			oe, ok := orig[name]
+			if !ok {
+				return 0, fmt.Errorf("schedule: no extent for original variable %s", name)
+			}
+			e = oe
+		case DivideOuter:
+			e = v.Param
+		case DivideInner:
+			oe, err := extentOf(v.Origin)
+			if err != nil {
+				return 0, err
+			}
+			e = ceilDiv(oe, v.Param)
+		case SplitInner:
+			e = v.Param
+		case SplitOuter:
+			oe, err := extentOf(v.Origin)
+			if err != nil {
+				return 0, err
+			}
+			e = ceilDiv(oe, v.Param)
+		case Fused:
+			a, err := extentOf(v.FuseA)
+			if err != nil {
+				return 0, err
+			}
+			b, err := extentOf(v.FuseB)
+			if err != nil {
+				return 0, err
+			}
+			e = a * b
+		case Rotated:
+			oe, err := extentOf(v.Origin)
+			if err != nil {
+				return 0, err
+			}
+			e = oe
+		default:
+			return 0, fmt.Errorf("schedule: unhandled kind for %s", name)
+		}
+		out[name] = e
+		return e, nil
+	}
+	for name := range s.vars {
+		if _, err := extentOf(name); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func clampIv(iv Interval, n int) Interval {
+	if iv.Lo < 0 {
+		iv.Lo = 0
+	}
+	if iv.Hi > n {
+		iv.Hi = n
+	}
+	return iv
+}
+
+// Interval is a half-open integer range [Lo, Hi).
+type Interval struct {
+	Lo, Hi int
+}
+
+// Fixed reports whether the interval contains exactly one value.
+func (iv Interval) Fixed() bool { return iv.Hi == iv.Lo+1 }
+
+// Intervals computes the value interval of every *original* statement
+// variable given fixed assignments env for some schedule variables; every
+// schedule variable not in env ranges over its full extent. Extents must
+// come from Extents. This is the bounds analysis used to derive region
+// requirement rectangles (§6.2).
+func (s *Schedule) Intervals(env map[string]int, extents map[string]int) map[string]Interval {
+	memo := map[string]Interval{}
+	var ivOf func(name string) Interval
+	ivOf = func(name string) Interval {
+		if iv, ok := memo[name]; ok {
+			return iv
+		}
+		var iv Interval
+		if x, ok := env[name]; ok {
+			iv = Interval{Lo: x, Hi: x + 1}
+			memo[name] = iv
+			return iv
+		}
+		v := s.vars[name]
+		// A variable still present in the loop order and not in env spans
+		// its full extent. Variables replaced by transformations are
+		// reconstructed from their replacements.
+		if s.posOf(name) >= 0 {
+			iv = Interval{Lo: 0, Hi: extents[name]}
+			memo[name] = iv
+			return iv
+		}
+		switch {
+		case v == nil:
+			panic(fmt.Sprintf("schedule: interval of unknown variable %s", name))
+		case s.dividedOrSplit(name) != nil:
+			d := s.dividedOrSplit(name)
+			outer, inner := ivOf(d.outer), ivOf(d.inner)
+			blk := d.blockSize(extents)
+			lo := outer.Lo*blk + inner.Lo
+			hi := (outer.Hi-1)*blk + inner.Hi
+			iv = clampIv(Interval{Lo: lo, Hi: hi}, extents[name])
+		case s.rotatedBy(name) != nil:
+			r := s.rotatedBy(name)
+			rv := ivOf(r.Name)
+			allFixed := rv.Fixed()
+			sum := rv.Lo
+			for _, o := range r.RotateOffsets {
+				ov := ivOf(o)
+				if !ov.Fixed() {
+					allFixed = false
+					break
+				}
+				sum += ov.Lo
+			}
+			if allFixed {
+				x := sum % extents[name]
+				iv = Interval{Lo: x, Hi: x + 1}
+			} else {
+				iv = Interval{Lo: 0, Hi: extents[name]}
+			}
+		case s.fusedInto(name) != nil:
+			f := s.fusedInto(name)
+			fv := ivOf(f.Name)
+			bExt := extents[f.FuseB]
+			if fv.Fixed() {
+				if name == f.FuseA {
+					x := fv.Lo / bExt
+					iv = Interval{Lo: x, Hi: x + 1}
+				} else {
+					x := fv.Lo % bExt
+					iv = Interval{Lo: x, Hi: x + 1}
+				}
+			} else {
+				iv = Interval{Lo: 0, Hi: extents[name]}
+			}
+		default:
+			// Unconstrained (should not happen): full extent.
+			iv = Interval{Lo: 0, Hi: extents[name]}
+		}
+		memo[name] = iv
+		return iv
+	}
+	out := map[string]Interval{}
+	for _, v := range s.stmt.Vars() {
+		out[v.Name] = ivOf(v.Name)
+	}
+	return out
+}
+
+// Value computes the concrete value of every original statement variable
+// from a full assignment env of the loop-order variables. It returns false
+// if any original variable falls outside its extent (boundary clamping of
+// non-divisible blocks).
+func (s *Schedule) Value(env map[string]int, extents map[string]int) (map[string]int, bool) {
+	ivs := s.Intervals(env, extents)
+	out := map[string]int{}
+	for name, iv := range ivs {
+		if iv.Hi <= iv.Lo {
+			// Clamping produced an empty interval: the assignment lies in
+			// the ragged tail of a non-divisible block.
+			return nil, false
+		}
+		if !iv.Fixed() {
+			panic(fmt.Sprintf("schedule: variable %s not fixed by full assignment", name))
+		}
+		if iv.Lo < 0 || iv.Lo >= extents[name] {
+			return nil, false
+		}
+		out[name] = iv.Lo
+	}
+	return out, true
+}
+
+type divInfo struct {
+	outer, inner string
+	isDivide     bool
+	param        int
+	origin       string
+}
+
+func (d *divInfo) blockSize(extents map[string]int) int {
+	if d.isDivide {
+		return ceilDiv(extents[d.origin], d.param)
+	}
+	return d.param // split: inner size is the parameter
+}
+
+// dividedOrSplit returns division info if name was divided or split.
+func (s *Schedule) dividedOrSplit(name string) *divInfo {
+	for _, v := range s.vars {
+		if v.Origin == name && (v.Kind == DivideOuter || v.Kind == SplitOuter) {
+			return &divInfo{outer: v.Name, inner: v.Partner, isDivide: v.Kind == DivideOuter, param: v.Param, origin: name}
+		}
+	}
+	return nil
+}
+
+// rotatedBy returns the Rotated variable that replaced name, if any.
+func (s *Schedule) rotatedBy(name string) *Var {
+	for _, v := range s.vars {
+		if v.Kind == Rotated && v.Origin == name {
+			return v
+		}
+	}
+	return nil
+}
+
+// fusedInto returns the Fused variable that consumed name, if any.
+func (s *Schedule) fusedInto(name string) *Var {
+	for _, v := range s.vars {
+		if v.Kind == Fused && (v.FuseA == name || v.FuseB == name) {
+			return v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"fmt"
+
+	"distal/internal/machine"
+)
+
+// Sim is the mutable state of one simulated execution over a machine: the
+// availability times of every contended resource, plus accounting for
+// communication volume and memory footprint.
+//
+// Scheduling is greedy in issue order: every operation is given the earliest
+// start compatible with its readiness time and with the FIFO availability of
+// the resources it occupies. This makes overlap of communication and
+// computation emerge naturally (copies and compute use disjoint resources)
+// while still serializing conflicting uses of a port, NIC, or processor.
+type Sim struct {
+	Machine *machine.Machine
+	Params  Params
+
+	leafGrid machine.Grid
+	nLeaves  int
+	nNodes   int
+
+	procFree []float64 // per leaf: next time the processor is idle
+	outFree  []float64 // per leaf: next time its memory out-port is idle
+	inFree   []float64 // per leaf: next time its memory in-port is idle
+	nicOut   []float64 // per node: next time its NIC egress is idle
+	nicIn    []float64 // per node: next time its NIC ingress is idle
+
+	memUsed []int64 // per leaf: currently live bytes
+	memPeak []int64 // per leaf: high-water mark
+
+	// Totals.
+	IntraBytes int64
+	InterBytes int64
+	CopyCount  int64
+	FlopsTotal float64
+	makespan   float64
+	oomProc    int
+	oomBytes   int64
+}
+
+// New returns a fresh simulation over m with the given cost model.
+func New(m *machine.Machine, p Params) *Sim {
+	lg := m.LeafGrid()
+	n := lg.Size()
+	outer := m.Nodes()
+	s := &Sim{
+		Machine:  m,
+		Params:   p,
+		leafGrid: lg,
+		nLeaves:  n,
+		nNodes:   outer,
+		procFree: make([]float64, n),
+		outFree:  make([]float64, n),
+		inFree:   make([]float64, n),
+		nicOut:   make([]float64, outer),
+		nicIn:    make([]float64, outer),
+		memUsed:  make([]int64, n),
+		memPeak:  make([]int64, n),
+		oomProc:  -1,
+	}
+	return s
+}
+
+// LeafGrid returns the flattened leaf-processor grid.
+func (s *Sim) LeafGrid() machine.Grid { return s.leafGrid }
+
+// Leaves returns the number of leaf processors.
+func (s *Sim) Leaves() int { return s.nLeaves }
+
+// NodeOf returns the node (outermost-grid flat index) of leaf l.
+func (s *Sim) NodeOf(l int) int {
+	return s.Machine.NodeOf(s.leafGrid.Delinearize(l))
+}
+
+func (s *Sim) observe(t float64) {
+	if t > s.makespan {
+		s.makespan = t
+	}
+}
+
+// Makespan returns the completion time of the last scheduled operation.
+func (s *Sim) Makespan() float64 { return s.makespan }
+
+// Alloc records bytes of live data on leaf l's memory. It never fails;
+// capacity violations are reported by OOM() at the end.
+func (s *Sim) Alloc(l int, bytes int64) {
+	s.memUsed[l] += bytes
+	if s.memUsed[l] > s.memPeak[l] {
+		s.memPeak[l] = s.memUsed[l]
+	}
+	if float64(s.memUsed[l]) > s.Params.MemCapacity && s.oomProc < 0 {
+		s.oomProc = l
+		s.oomBytes = s.memUsed[l]
+	}
+}
+
+// Free releases bytes of live data on leaf l's memory.
+func (s *Sim) Free(l int, bytes int64) {
+	s.memUsed[l] -= bytes
+	if s.memUsed[l] < 0 {
+		panic(fmt.Sprintf("sim: negative memory on leaf %d", l))
+	}
+}
+
+// OOM reports whether any leaf exceeded its memory capacity, and the worst
+// offender's peak footprint.
+func (s *Sim) OOM() (bool, int, int64) {
+	return s.oomProc >= 0, s.oomProc, s.oomBytes
+}
+
+// PeakMem returns the largest per-leaf memory high-water mark.
+func (s *Sim) PeakMem() int64 {
+	var max int64
+	for _, b := range s.memPeak {
+		if b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// Compute schedules a leaf computation of the given FLOPs and memory traffic
+// on leaf l, not before ready, and returns its completion time. Duration is
+// the roofline max of compute and bandwidth time.
+func (s *Sim) Compute(l int, flops, bytes float64, ready float64) float64 {
+	dur := flops / s.Params.PeakFlops
+	if bw := bytes / s.Params.MemBandwidth; bw > dur {
+		dur = bw
+	}
+	start := ready
+	if s.procFree[l] > start {
+		start = s.procFree[l]
+	}
+	end := start + dur
+	s.procFree[l] = end
+	s.FlopsTotal += flops
+	s.observe(end)
+	return end
+}
+
+// CopyEstimate returns the completion time a copy would have without
+// committing any resources; used for source selection.
+func (s *Sim) CopyEstimate(src, dst int, bytes int64, ready float64, srcGPUMem bool, replicas int) float64 {
+	_, end := s.copyTimes(src, dst, bytes, ready, srcGPUMem, replicas)
+	return end
+}
+
+// Copy schedules a transfer of bytes from leaf src to leaf dst, not before
+// ready, commits the resources, accounts the traffic, and returns its
+// completion time. srcGPUMem marks the source instance as residing in GPU
+// framebuffer memory (triggering the DMA source penalty on inter-node
+// links); replicas is the number of valid replicas of the source piece
+// (runtime-overhead model).
+func (s *Sim) Copy(src, dst int, bytes int64, ready float64, srcGPUMem bool, replicas int) float64 {
+	start, end := s.copyTimes(src, dst, bytes, ready, srcGPUMem, replicas)
+	occEnd := start + s.occupancy(src, dst, bytes, srcGPUMem)
+	if s.NodeOf(src) == s.NodeOf(dst) {
+		s.outFree[src] = occEnd
+		s.inFree[dst] = occEnd
+		s.IntraBytes += bytes
+	} else {
+		s.nicOut[s.NodeOf(src)] = occEnd
+		s.nicIn[s.NodeOf(dst)] = occEnd
+		s.outFree[src] = occEnd
+		s.inFree[dst] = occEnd
+		s.InterBytes += bytes
+	}
+	s.CopyCount++
+	s.observe(end)
+	return end
+}
+
+func (s *Sim) occupancy(src, dst int, bytes int64, srcGPUMem bool) float64 {
+	if s.NodeOf(src) == s.NodeOf(dst) {
+		return float64(bytes) / s.Params.IntraBW
+	}
+	bw := s.Params.InterBW
+	if srcGPUMem && s.Params.SrcPenaltyBW > 0 {
+		bw = s.Params.SrcPenaltyBW
+	}
+	return float64(bytes) / bw
+}
+
+func (s *Sim) copyTimes(src, dst int, bytes int64, ready float64, srcGPUMem bool, replicas int) (start, end float64) {
+	start = ready
+	var lat float64
+	if s.NodeOf(src) == s.NodeOf(dst) {
+		lat = s.Params.IntraLatency
+		if s.outFree[src] > start {
+			start = s.outFree[src]
+		}
+		if s.inFree[dst] > start {
+			start = s.inFree[dst]
+		}
+	} else {
+		lat = s.Params.InterLatency
+		for _, t := range []float64{s.nicOut[s.NodeOf(src)], s.nicIn[s.NodeOf(dst)], s.outFree[src], s.inFree[dst]} {
+			if t > start {
+				start = t
+			}
+		}
+	}
+	overhead := s.Params.ReplicaOverhead * float64(replicas)
+	end = start + s.occupancy(src, dst, bytes, srcGPUMem) + lat + overhead
+	return start, end
+}
+
+// Barrier advances every processor's availability to at least t. It models
+// a global synchronization point (used by non-overlapping baselines).
+func (s *Sim) Barrier() float64 {
+	var t float64
+	for _, f := range s.procFree {
+		if f > t {
+			t = f
+		}
+	}
+	for i := range s.procFree {
+		if s.procFree[i] < t {
+			s.procFree[i] = t
+		}
+	}
+	s.observe(t)
+	return t
+}
+
+// ProcFree returns when leaf l's processor becomes idle.
+func (s *Sim) ProcFree(l int) float64 { return s.procFree[l] }

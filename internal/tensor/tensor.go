@@ -1,0 +1,183 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dense is a dense, row-major tensor of float64 values. It is the single
+// value type moved, partitioned and computed on by the runtime.
+type Dense struct {
+	name    string
+	shape   []int
+	strides []int
+	data    []float64
+}
+
+// New returns a zero-filled dense tensor with the given name and shape.
+// A rank-0 tensor (empty shape) is a scalar holding one value.
+func New(name string, shape ...int) *Dense {
+	for _, s := range shape {
+		if s < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+		}
+	}
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	return &Dense{
+		name:    name,
+		shape:   append([]int(nil), shape...),
+		strides: rowMajorStrides(shape),
+		data:    make([]float64, n),
+	}
+}
+
+func rowMajorStrides(shape []int) []int {
+	strides := make([]int, len(shape))
+	acc := 1
+	for d := len(shape) - 1; d >= 0; d-- {
+		strides[d] = acc
+		acc *= shape[d]
+	}
+	return strides
+}
+
+// Name returns the tensor's name (used in notation and diagnostics).
+func (t *Dense) Name() string { return t.name }
+
+// Rank returns the number of dimensions.
+func (t *Dense) Rank() int { return len(t.shape) }
+
+// Shape returns the tensor's dimensions. The caller must not mutate it.
+func (t *Dense) Shape() []int { return t.shape }
+
+// Size returns the total number of elements.
+func (t *Dense) Size() int { return len(t.data) }
+
+// Bytes returns the in-memory size of the tensor's payload in bytes.
+func (t *Dense) Bytes() int64 { return int64(len(t.data)) * 8 }
+
+// Data exposes the backing slice in row-major order.
+func (t *Dense) Data() []float64 { return t.data }
+
+// Offset returns the row-major linear offset of the coordinate p.
+func (t *Dense) Offset(p []int) int {
+	if len(p) != len(t.shape) {
+		panic(fmt.Sprintf("tensor %s: coordinate rank %d != tensor rank %d", t.name, len(p), len(t.shape)))
+	}
+	off := 0
+	for d, x := range p {
+		if x < 0 || x >= t.shape[d] {
+			panic(fmt.Sprintf("tensor %s: coordinate %v out of bounds for shape %v", t.name, p, t.shape))
+		}
+		off += x * t.strides[d]
+	}
+	return off
+}
+
+// At returns the value at coordinate p.
+func (t *Dense) At(p ...int) float64 { return t.data[t.Offset(p)] }
+
+// Set stores v at coordinate p.
+func (t *Dense) Set(v float64, p ...int) { t.data[t.Offset(p)] = v }
+
+// Add accumulates v into coordinate p.
+func (t *Dense) Add(v float64, p ...int) { t.data[t.Offset(p)] += v }
+
+// Fill sets every element to v.
+func (t *Dense) Fill(v float64) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// FillRandom fills the tensor with deterministic pseudo-random values in
+// [0, 1) derived from seed.
+func (t *Dense) FillRandom(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := range t.data {
+		t.data[i] = rng.Float64()
+	}
+}
+
+// FillFunc sets each element to f(p) where p is the element's coordinate.
+func (t *Dense) FillFunc(f func(p []int) float64) {
+	FullRect(t.shape).Points(func(p []int) {
+		t.data[t.Offset(p)] = f(p)
+	})
+}
+
+// Clone returns a deep copy, optionally renamed (empty name keeps the old).
+func (t *Dense) Clone(name string) *Dense {
+	if name == "" {
+		name = t.name
+	}
+	out := New(name, t.shape...)
+	copy(out.data, t.data)
+	return out
+}
+
+// Zero resets all elements to zero.
+func (t *Dense) Zero() { t.Fill(0) }
+
+// Rect returns the full rect of the tensor.
+func (t *Dense) Rect() Rect { return FullRect(t.shape) }
+
+// CopyRect copies the contents of rect r from src into the same coordinates
+// of t. Both tensors must have equal rank and contain r.
+func (t *Dense) CopyRect(src *Dense, r Rect) {
+	r = r.Clamp(t.shape).Clamp(src.shape)
+	r.Points(func(p []int) {
+		t.data[t.Offset(p)] = src.data[src.Offset(p)]
+	})
+}
+
+// MaxAbsDiff returns the maximum absolute element-wise difference between two
+// tensors of identical shape.
+func (t *Dense) MaxAbsDiff(other *Dense) float64 {
+	if !sameShape(t.shape, other.shape) {
+		panic(fmt.Sprintf("tensor: MaxAbsDiff shape mismatch %v vs %v", t.shape, other.shape))
+	}
+	maxd := 0.0
+	for i := range t.data {
+		d := math.Abs(t.data[i] - other.data[i])
+		if d > maxd {
+			maxd = d
+		}
+	}
+	return maxd
+}
+
+// EqualWithin reports whether the two tensors agree element-wise within eps.
+func (t *Dense) EqualWithin(other *Dense, eps float64) bool {
+	return sameShape(t.shape, other.shape) && t.MaxAbsDiff(other) <= eps
+}
+
+func sameShape(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Sum returns the sum of all elements.
+func (t *Dense) Sum() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v
+	}
+	return s
+}
+
+// String summarizes the tensor without printing its payload.
+func (t *Dense) String() string {
+	return fmt.Sprintf("%s%v", t.name, t.shape)
+}

@@ -1,0 +1,65 @@
+package distal
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Redistribute builds a program that moves tensor t into the dst format
+// (§1: "easily transform data between distributed layouts to match the
+// computation"). It is compiled through the ordinary pipeline — an identity
+// statement whose output is placed under the destination format and whose
+// loops are distributed owner-computes over the destination — so the
+// runtime discovers exactly the copies the layout change requires, prices
+// them, and (in Real mode) performs them.
+//
+// The returned tensor is the destination; after Run its Data holds t's
+// contents.
+func Redistribute(t *Tensor, dst Format, m *Machine) (*Program, *Tensor, error) {
+	if len(t.Shape) == 0 || len(t.Shape) > 6 {
+		return nil, nil, fmt.Errorf("distal: redistribute supports ranks 1..6, got %d", len(t.Shape))
+	}
+	out := NewTensor(t.Name+"_r", dst, t.Shape...)
+	if t.Data != nil {
+		out.Zero()
+	}
+	vars := []string{"i", "j", "k", "l", "u", "v"}[:len(t.Shape)]
+	idx := strings.Join(vars, ",")
+	expr := fmt.Sprintf("%s(%s) = %s(%s)", out.Name, idx, t.Name, idx)
+	comp, err := Define(expr, m, out, t)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Owner-computes over the destination: distribute the leading dimension
+	// across all leaf processors and aggregate all communication at the
+	// task level. This is correct for any (src, dst) placement pair: reads
+	// gather from the source owners, writes flush to the destination
+	// owners.
+	procs := m.Processors()
+	s := comp.sched
+	s.Divide(vars[0], "d0", "d0i", procs)
+	order := append([]string{"d0", "d0i"}, vars[1:]...)
+	s.Reorder(order...).Distribute("d0").Communicate("d0", out.Name, t.Name)
+	if err := s.Err(); err != nil {
+		return nil, nil, err
+	}
+	prog, err := comp.Compile()
+	if err != nil {
+		return nil, nil, err
+	}
+	return prog, out, nil
+}
+
+// RedistributeCost simulates the layout change and returns the moved bytes
+// and simulated seconds without touching data.
+func RedistributeCost(t *Tensor, dst Format, m *Machine, params Params) (bytes int64, seconds float64, err error) {
+	prog, _, err := Redistribute(t, dst, m)
+	if err != nil {
+		return 0, 0, err
+	}
+	res, err := prog.Simulate(params)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.IntraBytes + res.InterBytes, res.Time, nil
+}

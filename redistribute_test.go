@@ -1,0 +1,85 @@
+package distal
+
+import "testing"
+
+func TestRedistributeRowsToTiles(t *testing.T) {
+	const n = 16
+	m := NewMachine(CPU, 2, 2)
+	src := NewTensor("T", MustFormat("xy->x*"), n, n).FillRandom(9)
+	prog, dst, err := Redistribute(src, Tiled(2), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Run(LassenCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Data.EqualWithin(src.Data, 0) {
+		t.Fatal("redistributed data differs from source")
+	}
+	if res.Copies == 0 {
+		t.Fatal("row->tile layout change must move data")
+	}
+}
+
+func TestRedistributeIdentityLayoutIsCheap(t *testing.T) {
+	// Moving between identical layouts should move (almost) nothing
+	// compared to a genuine layout change.
+	const n = 512
+	m := NewMachine(CPU, 4)
+	rows := MustFormat("xy->x")
+	src := NewTensor("T", rows, n, n)
+	same, _, err := RedistributeCost(src, rows, m, LassenCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, _, err := RedistributeCost(src, MustFormat("xy->y"), m, LassenCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same >= cols {
+		t.Fatalf("same-layout move (%d B) should be cheaper than transpose-like change (%d B)", same, cols)
+	}
+	if same != 0 {
+		t.Fatalf("identical layouts should move 0 bytes, moved %d", same)
+	}
+}
+
+func TestRedistributeToReplicated(t *testing.T) {
+	const n = 8
+	m := NewMachine(CPU, 2, 2)
+	src := NewTensor("T", MustFormat("xy->xy"), n, n).FillRandom(4)
+	prog, dst, err := Redistribute(src, MustFormat("xy->x*"), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.Run(LassenCPU()); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Data.EqualWithin(src.Data, 0) {
+		t.Fatal("replicated redistribution corrupted data")
+	}
+}
+
+func TestRedistribute3Tensor(t *testing.T) {
+	m := NewMachine(CPU, 4)
+	src := NewTensor("T", MustFormat("xyz->x"), 8, 6, 4).FillRandom(3)
+	prog, dst, err := Redistribute(src, MustFormat("xyz->y"), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.Run(LassenCPU()); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Data.EqualWithin(src.Data, 0) {
+		t.Fatal("3-tensor redistribution corrupted data")
+	}
+}
+
+func TestRedistributeErrors(t *testing.T) {
+	m := NewMachine(CPU, 2)
+	bad := NewTensor("T", MustFormat("x->x"))
+	if _, _, err := Redistribute(bad, MustFormat("x->x"), m); err == nil {
+		t.Fatal("rank-0 tensor should be rejected")
+	}
+}
