@@ -1,6 +1,7 @@
 package distal
 
 import (
+	"strings"
 	"testing"
 
 	"distal/internal/ir"
@@ -68,5 +69,46 @@ func TestAutoScheduleRejectsLowRankOutput(t *testing.T) {
 	comp := MustDefine("a = B(i,j,k) * C(i,j,k)", m, a, B, C)
 	if err := comp.AutoSchedule(); err == nil {
 		t.Fatal("scalar output on a 2-D machine should be rejected")
+	}
+}
+
+// TestAutoScheduleGridWiderThanOutput: a machine grid with more dimensions
+// than the output has index variables cannot be tiled owner-computes; the
+// error must name the requirement rather than panic or mis-schedule.
+func TestAutoScheduleGridWiderThanOutput(t *testing.T) {
+	m := NewMachine(CPU, 2, 2, 2) // 3-D grid
+	f := MustFormat("xy->xy0")
+	A := NewTensor("A", f, 8, 8)
+	B := NewTensor("B", f, 8, 8)
+	C := NewTensor("C", f, 8, 8)
+	// Output has two index variables (i, j), machine has three grid dims.
+	comp := MustDefine("A(i,j) = B(i,k) * C(k,j)", m, A, B, C)
+	err := comp.AutoSchedule()
+	if err == nil {
+		t.Fatal("3-D grid with a 2-var output should be rejected")
+	}
+	if want := "AutoSchedule needs >= 3 output variables"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q should contain %q", err, want)
+	}
+	// The failed attempt must not have half-applied commands: the schedule
+	// is untouched and manual scheduling still works.
+	if text := comp.ScheduleText(); text != "" {
+		t.Fatalf("failed AutoSchedule left commands behind: %q", text)
+	}
+}
+
+// TestAutoScheduleHierarchicalGrid: AutoSchedule tiles over the flattened
+// leaf grid, so a hierarchical machine counts every level's dimensions.
+func TestAutoScheduleHierarchicalGrid(t *testing.T) {
+	// A 2x2 grid of processors with ProcsPerNode grouping still has leaf
+	// grid rank 2: a 3-var output auto-schedules fine.
+	m := NewMachine(CPU, 2, 2).WithProcsPerNode(2)
+	f := MustFormat("xyz->xy")
+	A := NewTensor("A", f, 8, 8, 8).Zero()
+	B := NewTensor("B", f, 8, 8, 8).FillRandom(1)
+	comp := MustDefine("A(i,j,k) = B(i,j,k)", m, A, B)
+	res := autoRun(t, comp)
+	if res.Copies != 0 {
+		t.Fatalf("aligned element-wise copy should be communication-free, got %d copies", res.Copies)
 	}
 }

@@ -9,6 +9,7 @@
 //	distal-bench -exp fig16         # all four higher-order kernels, CPU+GPU
 //	distal-bench -exp fig9          # algorithm verification table
 //	distal-bench -exp summary       # headline speedups (§1/§7)
+//	distal-bench -exp plancache     # session plan-cache cold/warm comparison
 //	distal-bench -nodes 256         # maximum node count (power of two)
 package main
 
@@ -16,12 +17,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"distal"
 	"distal/internal/experiments"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig15a, fig15b, fig16, fig9, summary")
+	exp := flag.String("exp", "all", "experiment: all, fig15a, fig15b, fig16, fig9, summary, plancache")
 	nodes := flag.Int("nodes", 256, "maximum node count (power of two)")
 	flag.Parse()
 
@@ -53,6 +56,8 @@ func run(exp string, nodes int) error {
 		}
 		fmt.Println(text)
 		return nil
+	case "plancache":
+		return planCache()
 	case "all":
 		if err := showFig(experiments.Fig15a(nodes)); err != nil {
 			return err
@@ -77,6 +82,55 @@ func run(exp string, nodes int) error {
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
+}
+
+// planCache measures what the session's plan cache buys a serving workload:
+// the same GEMM request executed with a cold cache (compile every time)
+// against a warm one (compile once, execute many).
+func planCache() error {
+	const n, g = 1024, 4
+	req := distal.Request{
+		Stmt: "A(i,j) = B(i,k) * C(k,j)",
+		Shapes: map[string][]int{
+			"A": {n, n}, "B": {n, n}, "C": {n, n},
+		},
+		Formats: map[string]string{"A": "xy->xy", "B": "xy->**", "C": "xy->**"},
+		Schedule: "divide(i,io,ii,4) divide(j,jo,ji,4) reorder(io,jo,ii,ji) " +
+			"distribute(io,jo) split(k,ko,ki,128) reorder(io,jo,ko,ii,ji,ki) " +
+			"communicate(ko,B,C)",
+	}
+	machine := func() *distal.Machine { return distal.NewMachine(distal.CPU, g, g) }
+
+	const reps = 20
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		sess := distal.NewSession(machine())
+		if _, err := sess.Execute(req); err != nil {
+			return err
+		}
+	}
+	cold := time.Since(start) / reps
+
+	sess := distal.NewSession(machine())
+	if _, err := sess.Execute(req); err != nil {
+		return err
+	}
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		if _, err := sess.Execute(req); err != nil {
+			return err
+		}
+	}
+	warm := time.Since(start) / reps
+	st := sess.CacheStats()
+
+	fmt.Println("## Session plan cache (GEMM, 4x4 grid, replicated inputs)")
+	fmt.Printf("%-22s %12s\n", "", "per request")
+	fmt.Printf("%-22s %12s\n", "cold (compile+run)", cold.Round(time.Microsecond))
+	fmt.Printf("%-22s %12s\n", "warm (cache hit+run)", warm.Round(time.Microsecond))
+	fmt.Printf("%-22s %11.1fx\n", "speedup", float64(cold)/float64(warm))
+	fmt.Printf("cache: %d hits, %d misses, %d entries\n", st.Hits, st.Misses, st.Entries)
+	return nil
 }
 
 func fig16(nodes int) error {

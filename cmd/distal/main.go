@@ -9,6 +9,12 @@
 //	distal -alg cannon -n 64 -procs 9 -trace    # show the copy trace
 //	distal -alg johnson -n 4096 -procs 8 -sim   # simulate at size
 //	distal -expr "A(i,j) = B(i,j,k) * c(k)" -sim # arbitrary expression, auto-scheduled
+//	distal -expr "A(i,j) = B(i,k) * C(k,j)" \
+//	    -sched "divide(i,io,ii,4) reorder(io,ii,j,k) distribute(io) communicate(io,A,B,C)" \
+//	    -sim                                     # explicit schedule text
+//
+// The -expr path goes through the session API: statement, formats, and
+// schedule are all text, the same data a distal.Request carries.
 package main
 
 import (
@@ -16,20 +22,20 @@ import (
 	"fmt"
 	"os"
 
+	"distal"
 	"distal/internal/algorithms"
 	"distal/internal/cin"
 	"distal/internal/codegen"
 	"distal/internal/core"
-	"distal/internal/distnot"
 	"distal/internal/ir"
 	"distal/internal/legion"
-	"distal/internal/schedule"
 	"distal/internal/sim"
 )
 
 func main() {
 	alg := flag.String("alg", "summa", "algorithm: cannon, pumma, summa, johnson, solomonik, cosma")
-	expr := flag.String("expr", "", "arbitrary tensor index notation statement (auto-scheduled; overrides -alg), e.g. \"A(i,j) = B(i,j,k) * c(k)\"")
+	expr := flag.String("expr", "", "arbitrary tensor index notation statement (overrides -alg), e.g. \"A(i,j) = B(i,j,k) * c(k)\"")
+	sched := flag.String("sched", "", "schedule command text for -expr, e.g. \"divide(i,io,ii,4) reorder(io,ii,j,k) distribute(io)\"; empty auto-schedules")
 	n := flag.Int("n", 64, "square matrix / tensor mode dimension")
 	procs := flag.Int("procs", 4, "processor count")
 	gpu := flag.Bool("gpu", false, "GPU machine (4 per node)")
@@ -38,102 +44,117 @@ func main() {
 	maxPoints := flag.Int("points", 4, "task points to list per launch (0 = all)")
 	flag.Parse()
 
-	if err := run(*alg, *expr, *n, *procs, *gpu, *simulate, *trace, *maxPoints); err != nil {
+	var err error
+	if *expr != "" {
+		err = runExpr(*expr, *sched, *n, *procs, *gpu, *simulate, *trace, *maxPoints)
+	} else if *sched != "" {
+		err = fmt.Errorf("-sched only applies to -expr statements; the -alg schedules are built in")
+	} else {
+		err = runAlg(*alg, *n, *procs, *gpu, *simulate, *trace, *maxPoints)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "distal:", err)
 		os.Exit(1)
 	}
 }
 
-func run(alg, expr string, n, procs int, gpu, simulate, trace bool, maxPoints int) error {
-	var in core.Input
-	var err error
-	if expr != "" {
-		in, err = exprInput(expr, n, procs, gpu)
-	} else {
-		cfg := algorithms.MatmulConfig{N: n, Procs: procs, GPU: gpu}
-		if gpu {
-			cfg.ProcsPerNode = 4
-		}
-		in, err = algorithms.Matmul(algorithms.Alg(alg), cfg)
+func newMachine(procs int, gpu bool) *distal.Machine {
+	if gpu {
+		return distal.NewMachine(distal.GPU, procs).WithProcsPerNode(4)
 	}
+	return distal.NewMachine(distal.CPU, procs)
+}
+
+func params(gpu bool) distal.Params {
+	if gpu {
+		return distal.LassenGPU()
+	}
+	return distal.LassenCPU()
+}
+
+// runExpr drives an arbitrary statement through the session API: every mode
+// has extent n, tensors are partitioned over a 1-D machine by their first
+// mode, and the schedule is the given command text (auto-scheduled when
+// empty).
+func runExpr(expr, schedText string, n, procs int, gpu, simulate, trace bool, maxPoints int) error {
+	stmt, err := ir.Parse(expr)
 	if err != nil {
 		return err
 	}
-	return show(in, gpu, simulate, trace, maxPoints)
-}
-
-// exprInput builds a compilation input for an arbitrary statement: every
-// mode has extent n, tensors are tiled over a 1-D machine by their first
-// mode, and the schedule tiles the output's first index variable
-// (owner-computes, the AutoSchedule heuristic).
-func exprInput(expr string, n, procs int, gpu bool) (core.Input, error) {
-	stmt, err := ir.Parse(expr)
-	if err != nil {
-		return core.Input{}, err
+	if len(stmt.LHS.Indices) == 0 {
+		return fmt.Errorf("scalar outputs are not supported by -expr; use the library API")
 	}
-	cfg := algorithms.MatmulConfig{Procs: procs, GPU: gpu}
-	if gpu {
-		cfg.ProcsPerNode = 4
-	}
-	m := cfg.MachineFor(procs)
 	names := "xyzwuv"
-	decls := map[string]*core.TensorDecl{}
-	shapes := map[string][]int{}
-	addDecl := func(a *ir.Access) error {
-		if _, ok := decls[a.Tensor]; ok {
-			return nil
+	rankOf := map[string]int{}
+	collect := func(a *ir.Access) {
+		rankOf[a.Tensor] = len(a.Indices)
+	}
+	collect(stmt.LHS)
+	for _, a := range stmt.RHS.Accesses(nil) {
+		collect(a)
+	}
+	sess := distal.NewSession(newMachine(procs, gpu), distal.WithParams(params(gpu)))
+	var tensors []*distal.Tensor
+	for name, rank := range rankOf {
+		if rank > len(names) {
+			return fmt.Errorf("tensor %s has rank %d; -expr supports ranks up to %d", name, rank, len(names))
 		}
-		rank := len(a.Indices)
-		shape := make([]int, rank)
-		for d := range shape {
-			shape[d] = n
-		}
-		if rank == 0 {
-			shape = []int{1}
+		// A zero-index access is a scalar: a rank-1 tensor of extent 1.
+		shape := []int{1}
+		if rank > 0 {
+			shape = make([]int, rank)
+			for d := range shape {
+				shape[d] = n
+			}
+		} else {
 			rank = 1
 		}
 		// Partition the first mode across the 1-D machine; remaining modes
 		// span fully.
-		stmtSrc := names[:rank] + "->" + names[:1]
-		p, err := distnot.ParsePlacement(stmtSrc)
+		f, err := distal.ParseFormat(names[:rank] + "->" + names[:1])
 		if err != nil {
 			return err
 		}
-		decls[a.Tensor] = &core.TensorDecl{Name: a.Tensor, Shape: shape, Placement: p}
-		shapes[a.Tensor] = shape
-		return nil
+		tensors = append(tensors, distal.NewTensor(name, f, shape...))
 	}
-	if err := addDecl(stmt.LHS); err != nil {
-		return core.Input{}, err
+	comp, err := sess.Define(expr, tensors...)
+	if err != nil {
+		return err
 	}
-	for _, a := range stmt.RHS.Accesses(nil) {
-		if err := addDecl(a); err != nil {
-			return core.Input{}, err
-		}
+	if schedText == "" {
+		err = comp.AutoSchedule()
+	} else {
+		err = comp.ApplySchedule(schedText)
 	}
-	if err := stmt.Validate(shapes); err != nil {
-		return core.Input{}, err
+	if err != nil {
+		return err
 	}
-	if len(stmt.LHS.Indices) == 0 {
-		return core.Input{}, fmt.Errorf("scalar outputs are not supported by -expr; use the library API")
+	fmt.Println("=== schedule ===")
+	fmt.Println(comp.ScheduleText())
+	fmt.Println()
+	fmt.Println("=== concrete index notation ===")
+	fmt.Println(comp.Notation())
+	fmt.Println()
+	prog, err := comp.Compile()
+	if err != nil {
+		return err
 	}
-	v := stmt.LHS.Indices[0].Name
-	s := schedule.New(stmt).
-		Divide(v, v+"_o", v+"_i", procs)
-	order := []string{v + "_o", v + "_i"}
-	for _, ov := range stmt.Vars() {
-		if ov.Name != v {
-			order = append(order, ov.Name)
-		}
-	}
-	s.Reorder(order...).Distribute(v+"_o").Communicate(v+"_o", stmt.TensorNames()...)
-	if err := s.Err(); err != nil {
-		return core.Input{}, err
-	}
-	return core.Input{Stmt: stmt, Machine: m, Tensors: decls, Schedule: s}, nil
+	return show(prog.P, gpu, simulate, trace, maxPoints)
 }
 
-func show(in core.Input, gpu, simulate, trace bool, maxPoints int) error {
+// runAlg compiles one of the named matmul algorithms from the library.
+func runAlg(alg string, n, procs int, gpu, simulate, trace bool, maxPoints int) error {
+	cfg := algorithms.MatmulConfig{N: n, Procs: procs, GPU: gpu}
+	if gpu {
+		cfg.ProcsPerNode = 4
+	}
+	in, err := algorithms.Matmul(algorithms.Alg(alg), cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("=== schedule ===")
+	fmt.Println(in.Schedule)
+	fmt.Println()
 	fmt.Println("=== concrete index notation ===")
 	fmt.Println(cin.Build(in.Schedule))
 	fmt.Println()
@@ -141,17 +162,28 @@ func show(in core.Input, gpu, simulate, trace bool, maxPoints int) error {
 	if err != nil {
 		return err
 	}
+	return show(prog, gpu, simulate, trace, maxPoints)
+}
+
+func show(prog *legion.Program, gpu, simulate, trace bool, maxPoints int) error {
 	fmt.Println("=== generated program ===")
 	fmt.Print(codegen.Program(prog, maxPoints))
+	return execute(prog, gpu, simulate, trace)
+}
 
+func execute(prog *legion.Program, gpu, simulate, trace bool) error {
 	if !simulate && !trace {
 		return nil
 	}
-	params := sim.LassenCPU()
+	p := sim.LassenCPU()
 	if gpu {
-		params = sim.LassenGPU()
+		p = sim.LassenGPU()
 	}
-	res, err := legion.Run(prog, legion.Options{Params: params, Trace: trace})
+	var mods []legion.Option
+	if trace {
+		mods = append(mods, legion.WithTrace())
+	}
+	res, err := legion.Run(prog, legion.NewOptions(p, mods...))
 	if err != nil {
 		return err
 	}

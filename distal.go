@@ -7,22 +7,47 @@
 // real data (for validation) or on a simulated supercomputer (for the
 // paper's performance experiments).
 //
-// The API mirrors Figure 2 of the paper:
+// The entry point is a Session: a long-lived object owning a target
+// machine, a default cost model, and an LRU cache of compiled plans.
+// Compile once, execute many times:
 //
 //	m := distal.NewMachine(distal.CPU, gx, gy)
-//	f := distal.Tiled(m)                              // xy -> xy
-//	A := distal.NewTensor("A", f, n, n)
-//	B := distal.NewTensor("B", f, n, n)
-//	C := distal.NewTensor("C", f, n, n)
-//	comp, _ := distal.Define("A(i,j) = B(i,k) * C(k,j)", m, A, B, C)
+//	sess := distal.NewSession(m)
+//	res, _ := sess.Execute(distal.Request{
+//	    Stmt:     "A(i,j) = B(i,k) * C(k,j)",
+//	    Shapes:   map[string][]int{"A": {n, n}, "B": {n, n}, "C": {n, n}},
+//	    Formats:  map[string]string{"A": "xy->xy", "B": "xy->xy", "C": "xy->xy"},
+//	    Schedule: "divide(i,io,ii,2) divide(j,jo,ji,2) reorder(io,jo,ii,ji) " +
+//	        "distribute(io,jo) split(k,ko,ki,256) reorder(io,jo,ko,ii,ji,ki) " +
+//	        "communicate(jo,A) communicate(ko,B,C)",
+//	})
+//
+// A Request is pure data — statement, shapes, formats, and schedule are all
+// text — so workloads can be stored, shipped over the wire, and emitted by
+// autotuners. Re-executing a request with the same statement, shapes,
+// formats, schedule, and machine hits the session's plan cache and skips
+// compilation entirely; a cached *Program is safe for concurrent Simulate.
+//
+// For programmatic construction (and for Real-mode execution on bound
+// data), the fluent layer mirrors Figure 2 of the paper:
+//
+//	f := distal.Tiled(2)                              // rank-2 tiling, xy -> xy
+//	A := distal.NewTensor("A", f, n, n).Zero()
+//	B := distal.NewTensor("B", f, n, n).FillRandom(1)
+//	C := distal.NewTensor("C", f, n, n).FillRandom(2)
+//	comp, _ := sess.Define("A(i,j) = B(i,k) * C(k,j)", A, B, C)
 //	comp.Schedule().
 //	    DistributeOnto([]string{"i","j"}, []string{"io","jo"}, []string{"ii","ji"}).
 //	    Split("k", "ko", "ki", 256).
 //	    Reorder("ko", "ii", "ji", "ki").
 //	    Communicate("jo", "A").
 //	    Communicate("ko", "B", "C")
-//	prog, _ := comp.Compile()
-//	res, _ := prog.Simulate(distal.LassenCPU())       // or prog.Run() on real data
+//	prog, _ := comp.Compile()                         // plan-cached via sess
+//	res, _ := prog.Run(distal.LassenCPU())            // or prog.Simulate(params)
+//
+// Fluent schedules serialize to command text with Computation.ScheduleText
+// and parse back with Computation.ApplySchedule, so the two styles
+// round-trip.
 package distal
 
 import (
@@ -158,10 +183,14 @@ type Computation struct {
 	Machine *Machine
 	tensors map[string]*Tensor
 	sched   *schedule.Schedule
+	sess    *Session // non-nil when created through a Session (plan caching)
 }
 
 // Define parses the statement and binds the named tensors, validating
 // shapes. Every tensor named in the expression must be provided.
+//
+// Deprecated: prefer Session.Define, which compiles through the session's
+// plan cache. Define remains for one-shot use.
 func Define(expr string, m *Machine, tensors ...*Tensor) (*Computation, error) {
 	stmt, err := ir.Parse(expr)
 	if err != nil {
@@ -191,6 +220,8 @@ func Define(expr string, m *Machine, tensors ...*Tensor) (*Computation, error) {
 }
 
 // MustDefine is Define but panics on error.
+//
+// Deprecated: prefer Session.MustDefine.
 func MustDefine(expr string, m *Machine, tensors ...*Tensor) *Computation {
 	c, err := Define(expr, m, tensors...)
 	if err != nil {
@@ -289,35 +320,69 @@ type Program struct {
 	c *Computation
 }
 
-// Compile lowers the computation to a Legion program.
+// Compile lowers the computation to a Legion program. When the computation
+// was created through a Session and no tensor has data bound, the session's
+// plan cache is consulted first: a hit returns the previously compiled plan
+// without re-running the compiler.
 func (c *Computation) Compile() (*Program, error) {
-	decls := map[string]*core.TensorDecl{}
-	for _, name := range c.Stmt.TensorNames() {
-		t := c.tensors[name]
-		decls[name] = &core.TensorDecl{
-			Name:      name,
-			Shape:     t.Shape,
-			Placement: t.Format.Placement,
-			Data:      t.Data,
+	prog, _, err := c.compile()
+	return prog, err
+}
+
+// compile is Compile plus the plan key under which the program is cached
+// ("" when the computation does not participate in caching).
+func (c *Computation) compile() (*Program, string, error) {
+	in := c.compileInput()
+	key := ""
+	if c.sess != nil && c.cacheable() {
+		key = core.PlanKey(in)
+		if p := c.sess.lookup(key); p != nil {
+			return &Program{P: p, c: c}, key, nil
 		}
 	}
-	p, err := core.Compile(core.Input{
-		Stmt:     c.Stmt,
-		Machine:  c.Machine.M,
-		Tensors:  decls,
-		Schedule: c.sched,
-	})
+	p, err := core.Compile(in)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	return &Program{P: p, c: c}, nil
+	if key != "" {
+		c.sess.store(key, p)
+	}
+	return &Program{P: p, c: c}, key, nil
 }
 
 // Result re-exports the runtime's execution summary.
 type Result = legion.Result
 
+// CopyRecord re-exports one scheduled copy of a traced execution.
+type CopyRecord = legion.CopyRecord
+
+// SortTrace orders trace records by start time for display.
+func SortTrace(t []CopyRecord) { legion.SortTrace(t) }
+
 // Params re-exports the simulator cost model.
 type Params = sim.Params
+
+// ExecOption modifies one execution of a compiled program (tracing,
+// synchronous mode, owner-only copies, ...).
+type ExecOption = legion.Option
+
+// WithTrace records every copy for inspection in Result.Trace.
+func WithTrace() ExecOption { return legion.WithTrace() }
+
+// WithSynchronous disables communication/computation overlap, modeling
+// non-overlapping baselines.
+func WithSynchronous() ExecOption { return legion.WithSynchronous() }
+
+// WithOwnerOnly restricts copy sources to persistent owner instances.
+func WithOwnerOnly() ExecOption { return legion.WithOwnerOnly() }
+
+// WithTransientWindow sets how many transient instances per (region, leaf)
+// stay live for reuse.
+func WithTransientWindow(n int) ExecOption { return legion.WithTransientWindow(n) }
+
+// WithReal executes leaf kernels on actual data; every tensor must have
+// data bound.
+func WithReal() ExecOption { return legion.WithReal() }
 
 // LassenCPU returns the per-socket CPU cost model of the paper's testbed
 // (each Lassen node has two sockets; DISTAL reserves cores for the
@@ -327,22 +392,38 @@ func LassenCPU() Params { return sim.LassenCPU() }
 // LassenGPU returns the per-GPU cost model of the paper's testbed.
 func LassenGPU() Params { return sim.LassenGPU() }
 
+// Execute runs the program under params with the given execution
+// modifiers. It is the consolidated execution entry point: Run and Simulate
+// are thin wrappers.
+func (p *Program) Execute(params Params, opts ...ExecOption) (*Result, error) {
+	return legion.Run(p.P, legion.NewOptions(params, opts...))
+}
+
 // Run executes the program on real data (every tensor must have Data bound)
 // and also returns the simulated timing under params.
-func (p *Program) Run(params Params) (*Result, error) {
-	return legion.Run(p.P, legion.Options{Params: params, Real: true})
+func (p *Program) Run(params Params, opts ...ExecOption) (*Result, error) {
+	return p.Execute(params, append([]ExecOption{WithReal()}, opts...)...)
 }
 
 // Simulate executes the program's task graph without data, returning
 // simulated time, communication, and memory statistics.
-func (p *Program) Simulate(params Params) (*Result, error) {
-	return legion.Run(p.P, legion.Options{Params: params})
+func (p *Program) Simulate(params Params, opts ...ExecOption) (*Result, error) {
+	return p.Execute(params, opts...)
 }
 
-// SimulateOpts executes with full control over runtime options.
+// SimulateOpts executes with a fully assembled options struct.
+//
+// Deprecated: use Execute with ExecOption modifiers.
 func (p *Program) SimulateOpts(opt legion.Options) (*Result, error) {
 	return legion.Run(p.P, opt)
 }
 
-// Output returns the output tensor (after Run, it holds the result).
-func (p *Program) Output() *Tensor { return p.c.tensors[p.c.Stmt.LHS.Tensor] }
+// Output returns the output tensor (after Run, it holds the result), or
+// nil for a program resolved purely from the plan cache (Request
+// executions never bind data).
+func (p *Program) Output() *Tensor {
+	if p.c == nil {
+		return nil
+	}
+	return p.c.tensors[p.c.Stmt.LHS.Tensor]
+}

@@ -10,18 +10,18 @@ import (
 	"log"
 
 	"distal"
-	"distal/internal/legion"
 )
 
 func main() {
 	const n, g = 24, 3
 	m := distal.NewMachine(distal.CPU, g, g)
+	sess := distal.NewSession(m)
 	f := distal.Tiled(2)
 	A := distal.NewTensor("A", f, n, n).Zero()
 	B := distal.NewTensor("B", f, n, n).FillRandom(1)
 	C := distal.NewTensor("C", f, n, n).FillRandom(2)
 
-	comp, err := distal.Define("A(i,j) = B(i,k) * C(k,j)", m, A, B, C)
+	comp, err := sess.Define("A(i,j) = B(i,k) * C(k,j)", A, B, C)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,7 +39,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := prog.SimulateOpts(legion.Options{Params: distal.LassenCPU(), Trace: true})
+	res, err := prog.Execute(distal.LassenCPU(), distal.WithTrace())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func main() {
 	}
 
 	fmt.Printf("\ntrace: %d copies; per-step sources for region B:\n", len(res.Trace))
-	legion.SortTrace(res.Trace)
+	distal.SortTrace(res.Trace)
 	shown := 0
 	for _, c := range res.Trace {
 		if c.Region != "B" || shown >= 9 {

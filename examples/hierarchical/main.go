@@ -22,6 +22,7 @@ func main() {
 
 	// A flat grid of GPUs whose consecutive groups of four share a node.
 	m := distal.NewMachine(distal.GPU, gx, gy*gpus).WithProcsPerNode(gpus)
+	sess := distal.NewSession(m, distal.WithParams(distal.LassenGPU()))
 
 	// Tiles over nodes, rows over the GPUs within a node: expressed as a
 	// single-level format over the flattened grid (x tiles, y split 8-ways).
@@ -30,7 +31,7 @@ func main() {
 	B := distal.NewTensor("B", f, n, n).FillRandom(1)
 	C := distal.NewTensor("C", f, n, n).FillRandom(2)
 
-	comp := distal.MustDefine("A(i,j) = B(i,k) * C(k,j)", m, A, B, C)
+	comp := sess.MustDefine("A(i,j) = B(i,k) * C(k,j)", A, B, C)
 	comp.Schedule().
 		Divide("i", "io", "ii", gx).
 		Divide("j", "jo", "ji", gy*gpus).

@@ -16,12 +16,12 @@ import (
 )
 
 func run2D(n int) (*distal.Result, error) {
-	m := distal.NewMachine(distal.CPU, 4, 2)
+	sess := distal.NewSession(distal.NewMachine(distal.CPU, 4, 2))
 	f := distal.Tiled(2)
 	A := distal.NewTensor("A", f, n, n).Zero()
 	B := distal.NewTensor("B", f, n, n).FillRandom(1)
 	C := distal.NewTensor("C", f, n, n).FillRandom(2)
-	comp := distal.MustDefine("A(i,j) = B(i,k) * C(k,j)", m, A, B, C)
+	comp := sess.MustDefine("A(i,j) = B(i,k) * C(k,j)", A, B, C)
 	comp.Schedule().
 		Divide("i", "io", "ii", 4).Divide("j", "jo", "ji", 2).
 		Reorder("io", "jo", "ii", "ji").Distribute("io", "jo").
@@ -38,12 +38,12 @@ func run2D(n int) (*distal.Result, error) {
 func main() {
 	const n, g = 32, 2 // 2x2x2 processor cube
 
-	m := distal.NewMachine(distal.CPU, g, g, g)
+	sess := distal.NewSession(distal.NewMachine(distal.CPU, g, g, g))
 	A := distal.NewTensor("A", distal.MustFormat("xy->xy0"), n, n).Zero()
 	B := distal.NewTensor("B", distal.MustFormat("xz->x0z"), n, n).FillRandom(1)
 	C := distal.NewTensor("C", distal.MustFormat("zy->0yz"), n, n).FillRandom(2)
 
-	comp := distal.MustDefine("A(i,j) = B(i,k) * C(k,j)", m, A, B, C)
+	comp := sess.MustDefine("A(i,j) = B(i,k) * C(k,j)", A, B, C)
 	comp.Schedule().
 		Divide("i", "io", "ii", g).Divide("j", "jo", "ji", g).Divide("k", "ko", "ki", g).
 		Reorder("io", "jo", "ko", "ii", "ji", "ki").

@@ -17,7 +17,7 @@ import (
 )
 
 func build(i, j, k, l, g int, seed bool) (*distal.Computation, *distal.Tensor) {
-	m := distal.NewMachine(distal.CPU, g, g, g)
+	sess := distal.NewSession(distal.NewMachine(distal.CPU, g, g, g))
 	A := distal.NewTensor("A", distal.MustFormat("ab->a00"), i, l)
 	B := distal.NewTensor("B", distal.MustFormat("abc->abc"), i, j, k)
 	C := distal.NewTensor("C", distal.MustFormat("ab->*a*"), j, l)
@@ -28,7 +28,7 @@ func build(i, j, k, l, g int, seed bool) (*distal.Computation, *distal.Tensor) {
 		C.FillRandom(2)
 		D.FillRandom(3)
 	}
-	comp := distal.MustDefine("A(i,l) = B(i,j,k) * C(j,l) * D(k,l)", m, A, B, C, D)
+	comp := sess.MustDefine("A(i,l) = B(i,j,k) * C(j,l) * D(k,l)", A, B, C, D)
 	comp.Schedule().
 		Divide("i", "io", "ii", g).Divide("j", "jo", "ji", g).Divide("k", "ko", "ki", g).
 		Reorder("io", "jo", "ko", "ii", "ji", "ki", "l").

@@ -1,7 +1,9 @@
-// Quickstart reproduces Figure 2 of the DISTAL paper through the public
+// Quickstart reproduces Figure 2 of the DISTAL paper through the session
 // API: a matrix multiplication scheduled as the SUMMA algorithm on a 2-D
 // processor grid, executed on real data, validated against the sequential
-// reference, and timed on the simulated Lassen CPU cost model.
+// reference, and timed on the simulated Lassen CPU cost model. It then
+// shows the service-shaped side of the API: the same workload as a pure
+// data Request whose repeated execution hits the session's plan cache.
 package main
 
 import (
@@ -16,8 +18,10 @@ import (
 func main() {
 	const n, gx, gy = 64, 2, 2
 
-	// Define the target machine m as a 2D grid of processors (Fig. 2 line 4).
+	// A session owns the target machine — a 2-D grid of processors
+	// (Fig. 2 line 4) — plus the default cost model and the plan cache.
 	m := distal.NewMachine(distal.CPU, gx, gy)
+	sess := distal.NewSession(m, distal.WithParams(distal.LassenCPU()))
 
 	// A tensor's format describes how it is distributed onto m: a
 	// two-dimensional tiling (Fig. 2 lines 6-12).
@@ -29,7 +33,7 @@ func main() {
 	C := distal.NewTensor("C", f, n, n).FillRandom(2)
 
 	// Declare the computation (lines 18-19).
-	comp, err := distal.Define("A(i,j) = B(i,k) * C(k,j)", m, A, B, C)
+	comp, err := sess.Define("A(i,j) = B(i,k) * C(k,j)", A, B, C)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,4 +69,25 @@ func main() {
 	fmt.Printf("flops executed:   %.0f\n", res.Flops)
 	fmt.Printf("copies scheduled: %d (%.1f KB inter-node)\n",
 		res.Copies, float64(res.InterBytes)/1e3)
+
+	// The schedule is data: it serializes to command text ...
+	schedText := comp.ScheduleText()
+	fmt.Printf("\nschedule text:\n  %s\n", schedText)
+
+	// ... so the whole workload travels as a Request — statement, shapes,
+	// formats, and schedule, all text. Executing it twice compiles once:
+	// the second Execute is a plan-cache hit.
+	req := distal.Request{
+		Stmt:     "A(i,j) = B(i,k) * C(k,j)",
+		Shapes:   map[string][]int{"A": {n, n}, "B": {n, n}, "C": {n, n}},
+		Formats:  map[string]string{"A": "xy->xy", "B": "xy->xy", "C": "xy->xy"},
+		Schedule: schedText,
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := sess.Execute(req); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st := sess.CacheStats()
+	fmt.Printf("plan cache after 2 requests: %d hit, %d miss\n", st.Hits, st.Misses)
 }

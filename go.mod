@@ -1,0 +1,3 @@
+module distal
+
+go 1.24

@@ -286,14 +286,20 @@ func launchName(stmt *ir.Assignment, seqVars []string, seq map[string]int) strin
 	return stmt.LHS.Tensor + "[" + strings.Join(parts, ",") + "]"
 }
 
-// pointInfo caches everything derived from one task point so the runtime's
-// separate Reqs/Flops/MemBytes calls pay the bounds analysis once.
+// pointInfo holds everything derived from one task point: the region
+// requirement rectangles and the analytic cost-model inputs.
 type pointInfo struct {
 	reqs     []legion.Req
 	flops    float64
 	memBytes float64
 }
 
+// buildLaunch lowers one index launch. The bounds analysis of every domain
+// point is materialized eagerly into the launch, for two reasons: the
+// resulting program is immutable — safe for concurrent simulation, a
+// prerequisite of plan caching — and repeated executions of a cached plan
+// skip the analysis entirely (it is the dominant cost of a cold
+// compile+execute).
 func (c *compiler) buildLaunch(domain machine.Grid, seq map[string]int) *legion.Launch {
 	stmt := c.in.Stmt
 	lhs := stmt.LHS.Tensor
@@ -301,14 +307,10 @@ func (c *compiler) buildLaunch(domain machine.Grid, seq map[string]int) *legion.
 	if len(stmt.ReductionVars()) > 0 || stmt.Increment {
 		writePriv = legion.ReduceSum
 	}
-	cache := map[int]*pointInfo{}
-	info := func(point []int) *pointInfo {
-		key := domain.Linearize(point)
-		if pi, ok := cache[key]; ok {
-			return pi
-		}
+	infos := make([]pointInfo, domain.Size())
+	domain.Points(func(point []int) {
+		pi := &infos[domain.Linearize(point)]
 		env := c.envFor(point, seq)
-		pi := &pointInfo{}
 		// LHS write requirement aggregates at the task level.
 		pi.reqs = append(pi.reqs, legion.Req{
 			Region: c.regions[lhs],
@@ -342,9 +344,8 @@ func (c *compiler) buildLaunch(domain machine.Grid, seq map[string]int) *legion.
 		for _, q := range pi.reqs {
 			pi.memBytes += float64(q.Region.Bytes(q.Rect))
 		}
-		cache[key] = pi
-		return pi
-	}
+	})
+	info := func(point []int) *pointInfo { return &infos[domain.Linearize(point)] }
 	return &legion.Launch{
 		Name:   launchName(stmt, c.seqVars, seq),
 		Domain: domain,

@@ -67,6 +67,8 @@ type Schedule struct {
 	parallel    map[string]bool   // variables marked parallelize
 	leafHint    string            // substitute() target, e.g. "BLAS.GEMM"
 
+	log Commands // every successful command, in application order
+
 	err error // first error; sticky, checked by Err/Finish
 }
 
@@ -100,6 +102,28 @@ func (s *Schedule) fail(format string, args ...any) *Schedule {
 	return s
 }
 
+// record appends one successfully applied command to the serializable log.
+// No-op commands (reorder/distribute/communicate with nothing to do) are not
+// recorded: they change nothing and have no textual form.
+func (s *Schedule) record(op string, args ...string) {
+	switch op {
+	case "reorder", "distribute":
+		if len(args) == 0 {
+			return
+		}
+	case "communicate":
+		if len(args) < 2 {
+			return
+		}
+	}
+	s.log = append(s.log, Command{Op: op, Args: args})
+}
+
+// Commands returns the log of successfully applied commands: the schedule's
+// canonical serializable form. Compound commands (DistributeOnto) appear as
+// the primitives they expand to.
+func (s *Schedule) Commands() Commands { return append(Commands(nil), s.log...) }
+
 // Var returns the metadata of a variable, or nil if unknown.
 func (s *Schedule) Var(name string) *Var { return s.vars[name] }
 
@@ -130,11 +154,25 @@ func (s *Schedule) posOf(name string) int {
 
 func (s *Schedule) checkFresh(names ...string) error {
 	for _, n := range names {
-		if n == "" {
-			return fmt.Errorf("empty variable name")
+		if err := checkToken(n); err != nil {
+			return err
 		}
 		if _, exists := s.vars[n]; exists {
 			return fmt.Errorf("variable %s already exists", n)
+		}
+	}
+	return nil
+}
+
+// checkToken rejects names the serialization grammar cannot carry, so every
+// schedule a fluent chain builds round-trips through String/Parse.
+func checkToken(n string) error {
+	if n == "" {
+		return fmt.Errorf("empty name")
+	}
+	for _, r := range n {
+		if !isTokenRune(r) {
+			return fmt.Errorf("name %q contains %q; only letters, digits, '_', '.', '*' serialize", n, string(r))
 		}
 	}
 	return nil
@@ -168,6 +206,7 @@ func (s *Schedule) Divide(i, outer, inner string, c int) *Schedule {
 	s.vars[outer] = &Var{Name: outer, Kind: DivideOuter, Origin: i, Partner: inner, Param: c}
 	s.vars[inner] = &Var{Name: inner, Kind: DivideInner, Origin: i, Partner: outer, Param: c}
 	s.replaceInOrder(i, outer, inner)
+	s.record("divide", i, outer, inner, fmt.Sprint(c))
 	return s
 }
 
@@ -189,6 +228,7 @@ func (s *Schedule) Split(i, outer, inner string, size int) *Schedule {
 	s.vars[outer] = &Var{Name: outer, Kind: SplitOuter, Origin: i, Partner: inner, Param: size}
 	s.vars[inner] = &Var{Name: inner, Kind: SplitInner, Origin: i, Partner: outer, Param: size}
 	s.replaceInOrder(i, outer, inner)
+	s.record("split", i, outer, inner, fmt.Sprint(size))
 	return s
 }
 
@@ -211,6 +251,7 @@ func (s *Schedule) Collapse(i, j, f string) *Schedule {
 	s.vars[f] = &Var{Name: f, Kind: Fused, FuseA: i, FuseB: j}
 	s.replaceInOrder(i, f)
 	s.order = append(s.order[:s.posOf(j)], s.order[s.posOf(j)+1:]...)
+	s.record("collapse", i, j, f)
 	return s
 }
 
@@ -239,6 +280,7 @@ func (s *Schedule) Reorder(names ...string) *Schedule {
 		}
 	}
 	s.order = out
+	s.record("reorder", names...)
 	return s
 }
 
@@ -268,6 +310,7 @@ func (s *Schedule) Distribute(names ...string) *Schedule {
 				s.distributed, s.order)
 		}
 	}
+	s.record("distribute", names...)
 	return s
 }
 
@@ -295,6 +338,7 @@ func (s *Schedule) Rotate(t string, offsets []string, r string) *Schedule {
 	}
 	s.vars[r] = &Var{Name: r, Kind: Rotated, Origin: t, RotateOffsets: append([]string(nil), offsets...)}
 	s.replaceInOrder(t, r)
+	s.record("rotate", append(append([]string{t}, offsets...), r)...)
 	return s
 }
 
@@ -318,6 +362,7 @@ func (s *Schedule) Communicate(v string, tensors ...string) *Schedule {
 		}
 		s.comm[t] = v
 	}
+	s.record("communicate", append([]string{v}, tensors...)...)
 	return s
 }
 
@@ -333,6 +378,7 @@ func (s *Schedule) Parallelize(v string) *Schedule {
 		return s.fail("parallelize: unknown or already-transformed variable %s", v)
 	}
 	s.parallel[v] = true
+	s.record("parallelize", v)
 	return s
 }
 
@@ -357,7 +403,11 @@ func (s *Schedule) Substitute(vars []string, kernel string) *Schedule {
 			return s.fail("substitute: variables %v are not the innermost loops (order %v)", vars, s.order)
 		}
 	}
+	if err := checkToken(kernel); err != nil {
+		return s.fail("substitute: kernel: %v", err)
+	}
 	s.leafHint = kernel
+	s.record("substitute", append(append([]string{}, vars...), kernel)...)
 	return s
 }
 
@@ -380,8 +430,17 @@ func (s *Schedule) DistributeOnto(targets, dist, local []string, gridDims []int)
 	return s
 }
 
-// String renders the schedule compactly for diagnostics.
-func (s *Schedule) String() string {
+// String renders the schedule in its serializable command form, e.g.
+//
+//	divide(i,io,ii,4) reorder(io,jo,ii,ji) distribute(io,jo) communicate(jo,A)
+//
+// Parse of the result applied to a fresh schedule over the same statement
+// reproduces this schedule exactly (see Apply).
+func (s *Schedule) String() string { return s.log.String() }
+
+// Describe renders the schedule's resulting state compactly for diagnostics
+// (loop order, distribution, communication anchors).
+func (s *Schedule) Describe() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "order(%s)", strings.Join(s.order, ","))
 	if len(s.distributed) > 0 {

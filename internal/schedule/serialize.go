@@ -1,0 +1,222 @@
+package schedule
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"distal/internal/ir"
+)
+
+// This file makes schedules first-class serializable data: a Schedule can be
+// rendered as a sequence of textual commands (String/Commands) and rebuilt
+// from that text over a fresh statement (Parse + Apply). The grammar is a
+// whitespace- or semicolon-separated list of calls:
+//
+//	divide(i,io,ii,4) split(k,ko,ki,256) collapse(i,j,f)
+//	reorder(io,jo,ii,ji) distribute(io,jo)
+//	rotate(ko,io,jo,kos)              // target, offsets..., result
+//	communicate(jo,A) parallelize(ii)
+//	substitute(ii,ji,ki,BLAS.GEMM)    // vars..., kernel
+//
+// Arguments are bare tokens (letters, digits, '_', '.', '*'); integers are
+// decimal. The form is stable: it is what CLIs accept, what autotuners emit,
+// and part of the compiler's plan-cache key.
+
+// Command is one scheduling command in serializable form. Integer parameters
+// are carried as decimal strings so a Command is pure data.
+type Command struct {
+	Op   string
+	Args []string
+}
+
+func (c Command) String() string {
+	return c.Op + "(" + strings.Join(c.Args, ",") + ")"
+}
+
+// Commands is an ordered command sequence — the textual form of a schedule.
+type Commands []Command
+
+// String renders the sequence space-separated, parseable by Parse.
+func (cs Commands) String() string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Equal reports whether two command sequences are identical.
+func (cs Commands) Equal(other Commands) bool {
+	if len(cs) != len(other) {
+		return false
+	}
+	for i, c := range cs {
+		o := other[i]
+		if c.Op != o.Op || len(c.Args) != len(o.Args) {
+			return false
+		}
+		for j, a := range c.Args {
+			if a != o.Args[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func isTokenRune(r rune) bool {
+	return r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' ||
+		r >= '0' && r <= '9' || r == '_' || r == '.' || r == '*'
+}
+
+// Parse parses the textual command form. Commands are separated by
+// whitespace, newlines, or semicolons. Parse validates only the syntax and
+// per-command arity; semantic validation happens when the commands are
+// applied to a schedule.
+func Parse(src string) (Commands, error) {
+	var out Commands
+	rest := src
+	for {
+		rest = strings.TrimLeft(rest, " \t\r\n;")
+		if rest == "" {
+			return out, nil
+		}
+		open := strings.IndexByte(rest, '(')
+		if open <= 0 {
+			return nil, fmt.Errorf("schedule: parse: expected command(args...) at %q", snippet(rest))
+		}
+		op := rest[:open]
+		for _, r := range op {
+			if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z') {
+				return nil, fmt.Errorf("schedule: parse: bad command name %q", op)
+			}
+		}
+		closeIdx := strings.IndexByte(rest[open:], ')')
+		if closeIdx < 0 {
+			return nil, fmt.Errorf("schedule: parse: missing ')' after %q", snippet(rest))
+		}
+		argSrc := rest[open+1 : open+closeIdx]
+		rest = rest[open+closeIdx+1:]
+		var args []string
+		if strings.TrimSpace(argSrc) != "" {
+			for _, a := range strings.Split(argSrc, ",") {
+				a = strings.TrimSpace(a)
+				if a == "" {
+					return nil, fmt.Errorf("schedule: parse: empty argument in %s(%s)", op, argSrc)
+				}
+				for _, r := range a {
+					if !isTokenRune(r) {
+						return nil, fmt.Errorf("schedule: parse: bad argument %q in %s(...)", a, op)
+					}
+				}
+				args = append(args, a)
+			}
+		}
+		cmd := Command{Op: strings.ToLower(op), Args: args}
+		if err := checkArity(cmd); err != nil {
+			return nil, err
+		}
+		out = append(out, cmd)
+	}
+}
+
+func snippet(s string) string {
+	if len(s) > 24 {
+		return s[:24] + "..."
+	}
+	return s
+}
+
+func checkArity(c Command) error {
+	bad := func(want string) error {
+		return fmt.Errorf("schedule: parse: %s takes %s, got %d args", c.Op, want, len(c.Args))
+	}
+	switch c.Op {
+	case "divide", "split":
+		if len(c.Args) != 4 {
+			return bad("(var, outer, inner, n)")
+		}
+		if _, err := strconv.Atoi(c.Args[3]); err != nil {
+			return fmt.Errorf("schedule: parse: %s parameter %q is not an integer", c.Op, c.Args[3])
+		}
+	case "collapse":
+		if len(c.Args) != 3 {
+			return bad("(outer, inner, fused)")
+		}
+	case "reorder", "distribute":
+		if len(c.Args) == 0 {
+			return bad("at least one variable")
+		}
+	case "rotate":
+		if len(c.Args) < 2 {
+			return bad("(target, offsets..., result)")
+		}
+	case "communicate":
+		if len(c.Args) < 2 {
+			return bad("(var, tensors...)")
+		}
+	case "parallelize":
+		if len(c.Args) != 1 {
+			return bad("(var)")
+		}
+	case "substitute":
+		if len(c.Args) < 2 {
+			return bad("(vars..., kernel)")
+		}
+	default:
+		return fmt.Errorf("schedule: parse: unknown command %q", c.Op)
+	}
+	return nil
+}
+
+// Apply replays the commands onto the schedule in order. Errors are sticky,
+// exactly as if the corresponding methods had been called directly.
+func (s *Schedule) Apply(cs Commands) *Schedule {
+	for _, c := range cs {
+		if s.err != nil {
+			return s
+		}
+		switch c.Op {
+		case "divide":
+			n, _ := strconv.Atoi(c.Args[3])
+			s.Divide(c.Args[0], c.Args[1], c.Args[2], n)
+		case "split":
+			n, _ := strconv.Atoi(c.Args[3])
+			s.Split(c.Args[0], c.Args[1], c.Args[2], n)
+		case "collapse":
+			s.Collapse(c.Args[0], c.Args[1], c.Args[2])
+		case "reorder":
+			s.Reorder(c.Args...)
+		case "distribute":
+			s.Distribute(c.Args...)
+		case "rotate":
+			last := len(c.Args) - 1
+			s.Rotate(c.Args[0], c.Args[1:last], c.Args[last])
+		case "communicate":
+			s.Communicate(c.Args[0], c.Args[1:]...)
+		case "parallelize":
+			s.Parallelize(c.Args[0])
+		case "substitute":
+			last := len(c.Args) - 1
+			s.Substitute(c.Args[:last], c.Args[last])
+		default:
+			return s.fail("apply: unknown command %q", c.Op)
+		}
+	}
+	return s
+}
+
+// FromText parses schedule text and applies it to a fresh schedule over
+// stmt, returning the first parse or application error.
+func FromText(stmt *ir.Assignment, src string) (*Schedule, error) {
+	cs, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	s := New(stmt).Apply(cs)
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package distal
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package distal
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// timing-based assertions are skipped because instrumentation skews the
+// compile/execute cost ratio.
+const raceEnabled = true

@@ -5,19 +5,14 @@ import (
 	"strings"
 )
 
-// Redistribute builds a program that moves tensor t into the dst format
-// (§1: "easily transform data between distributed layouts to match the
-// computation"). It is compiled through the ordinary pipeline — an identity
-// statement whose output is placed under the destination format and whose
-// loops are distributed owner-computes over the destination — so the
-// runtime discovers exactly the copies the layout change requires, prices
-// them, and (in Real mode) performs them.
-//
-// The returned tensor is the destination; after Run its Data holds t's
-// contents.
-func Redistribute(t *Tensor, dst Format, m *Machine) (*Program, *Tensor, error) {
+// redistribute is the shared implementation behind Session.Redistribute and
+// the deprecated free function: sess may be nil for one-shot use.
+func redistribute(sess *Session, t *Tensor, dst Format, m *Machine) (*Program, *Tensor, error) {
 	if len(t.Shape) == 0 || len(t.Shape) > 6 {
 		return nil, nil, fmt.Errorf("distal: redistribute supports ranks 1..6, got %d", len(t.Shape))
+	}
+	if dst.Placement == nil {
+		return nil, nil, fmt.Errorf("distal: redistribute destination format is empty (use ParseFormat)")
 	}
 	out := NewTensor(t.Name+"_r", dst, t.Shape...)
 	if t.Data != nil {
@@ -30,17 +25,18 @@ func Redistribute(t *Tensor, dst Format, m *Machine) (*Program, *Tensor, error) 
 	if err != nil {
 		return nil, nil, err
 	}
+	comp.sess = sess
 	// Owner-computes over the destination: distribute the leading dimension
 	// across all leaf processors and aggregate all communication at the
 	// task level. This is correct for any (src, dst) placement pair: reads
 	// gather from the source owners, writes flush to the destination
-	// owners.
-	procs := m.Processors()
-	s := comp.sched
-	s.Divide(vars[0], "d0", "d0i", procs)
-	order := append([]string{"d0", "d0i"}, vars[1:]...)
-	s.Reorder(order...).Distribute("d0").Communicate("d0", out.Name, t.Name)
-	if err := s.Err(); err != nil {
+	// owners. Expressed as schedule text so the layout change is itself a
+	// storable, cacheable workload.
+	sched := fmt.Sprintf("divide(%s,d0,d0i,%d) reorder(%s) distribute(d0) communicate(d0,%s,%s)",
+		vars[0], m.Processors(),
+		strings.Join(append([]string{"d0", "d0i"}, vars[1:]...), ","),
+		out.Name, t.Name)
+	if err := comp.ApplySchedule(sched); err != nil {
 		return nil, nil, err
 	}
 	prog, err := comp.Compile()
@@ -50,8 +46,27 @@ func Redistribute(t *Tensor, dst Format, m *Machine) (*Program, *Tensor, error) 
 	return prog, out, nil
 }
 
+// Redistribute builds a program that moves tensor t into the dst format
+// (§1: "easily transform data between distributed layouts to match the
+// computation"). It is compiled through the ordinary pipeline — an identity
+// statement whose output is placed under the destination format and whose
+// loops are distributed owner-computes over the destination — so the
+// runtime discovers exactly the copies the layout change requires, prices
+// them, and (in Real mode) performs them.
+//
+// The returned tensor is the destination; after Run its Data holds t's
+// contents.
+//
+// Deprecated: prefer Session.Redistribute, which caches the layout-change
+// plan.
+func Redistribute(t *Tensor, dst Format, m *Machine) (*Program, *Tensor, error) {
+	return redistribute(nil, t, dst, m)
+}
+
 // RedistributeCost simulates the layout change and returns the moved bytes
 // and simulated seconds without touching data.
+//
+// Deprecated: prefer Session.RedistributeCost.
 func RedistributeCost(t *Tensor, dst Format, m *Machine, params Params) (bytes int64, seconds float64, err error) {
 	prog, _, err := Redistribute(t, dst, m)
 	if err != nil {

@@ -78,8 +78,53 @@ func TestRedistribute3Tensor(t *testing.T) {
 
 func TestRedistributeErrors(t *testing.T) {
 	m := NewMachine(CPU, 2)
+
+	t.Run("rank 0", func(t *testing.T) {
+		bad := NewTensor("T", MustFormat("x->x"))
+		if _, _, err := Redistribute(bad, MustFormat("x->x"), m); err == nil {
+			t.Fatal("rank-0 tensor should be rejected")
+		}
+	})
+
+	t.Run("rank above 6", func(t *testing.T) {
+		bad := NewTensor("T", MustFormat("x->x"), 2, 2, 2, 2, 2, 2, 2)
+		if _, _, err := Redistribute(bad, MustFormat("x->x"), m); err == nil {
+			t.Fatal("rank-7 tensor should be rejected")
+		}
+	})
+
+	t.Run("unparseable destination format", func(t *testing.T) {
+		if _, err := ParseFormat("xy->>x"); err == nil {
+			t.Fatal("ParseFormat should reject xy->>x")
+		}
+		dst, err := ParseFormat("xy->>x")
+		if err == nil {
+			t.Fatal("expected parse error")
+		}
+		// The zero Format a failed parse leaves behind must be rejected by
+		// Redistribute rather than compiled as an implicit layout.
+		src := NewTensor("T", MustFormat("xy->x"), 8, 8)
+		if _, _, err := Redistribute(src, dst, m); err == nil {
+			t.Fatal("empty destination format should be rejected")
+		}
+	})
+
+	t.Run("destination format wrong rank for machine", func(t *testing.T) {
+		// A 2-level placement on a flat 1-D machine fails compilation.
+		src := NewTensor("T", MustFormat("xy->x"), 8, 8)
+		if _, _, err := Redistribute(src, MustFormat("xy->xy"), m); err == nil {
+			t.Fatal("placement rank exceeding the machine rank should be rejected")
+		}
+	})
+}
+
+func TestSessionRedistributeErrors(t *testing.T) {
+	sess := NewSession(NewMachine(CPU, 2))
 	bad := NewTensor("T", MustFormat("x->x"))
-	if _, _, err := Redistribute(bad, MustFormat("x->x"), m); err == nil {
-		t.Fatal("rank-0 tensor should be rejected")
+	if _, _, err := sess.Redistribute(bad, MustFormat("x->x")); err == nil {
+		t.Fatal("rank-0 tensor should be rejected through the session path")
+	}
+	if _, _, err := sess.RedistributeCost(bad, MustFormat("x->x")); err == nil {
+		t.Fatal("RedistributeCost should propagate the error")
 	}
 }

@@ -1,0 +1,402 @@
+package distal
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"distal/internal/cin"
+	"distal/internal/core"
+	"distal/internal/ir"
+	"distal/internal/legion"
+	"distal/internal/schedule"
+)
+
+// Session is the long-lived entry point of the compile/execute API: it owns
+// a target machine, default simulation parameters, and an LRU cache of
+// compiled plans. A service compiles a workload once and executes it many
+// times; repeated Define+Compile of the same (statement, shapes, formats,
+// schedule) returns the cached plan, and a cached *Program is safe for
+// concurrent Simulate calls.
+//
+// Plans holding real data are never cached: a plan describes a task graph,
+// not the values flowing through it, and Real-mode execution mutates bound
+// tensors.
+type Session struct {
+	machine *Machine
+	params  Params
+
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List // of *planEntry, front = most recent
+	plans    map[string]*list.Element
+	hits     int64
+	misses   int64
+
+	// reqMemo maps a canonical rendering of a Request to its plan key, so a
+	// repeated Execute of the same request skips statement parsing, tensor
+	// construction, and schedule replay entirely. It is a memo over the plan
+	// cache, not a second cache: programs live only under plan keys.
+	reqMemo map[string]string
+}
+
+type planEntry struct {
+	key  string
+	prog *legion.Program
+}
+
+// DefaultPlanCacheSize is the plan-cache capacity of new sessions.
+const DefaultPlanCacheSize = 128
+
+// SessionOption configures a Session at construction.
+type SessionOption func(*Session)
+
+// WithParams sets the session's default cost model (used by Execute and as
+// the default for Program.Simulate through this session). The zero default
+// is LassenCPU.
+func WithParams(p Params) SessionOption {
+	return func(s *Session) { s.params = p }
+}
+
+// WithPlanCacheSize sets the plan cache capacity; 0 disables caching.
+func WithPlanCacheSize(n int) SessionOption {
+	return func(s *Session) { s.capacity = n }
+}
+
+// NewSession creates a session over the machine.
+func NewSession(m *Machine, opts ...SessionOption) *Session {
+	s := &Session{
+		machine:  m,
+		params:   LassenCPU(),
+		capacity: DefaultPlanCacheSize,
+		lru:      list.New(),
+		plans:    map[string]*list.Element{},
+		reqMemo:  map[string]string{},
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Machine returns the session's target machine.
+func (s *Session) Machine() *Machine { return s.machine }
+
+// Params returns the session's default cost model.
+func (s *Session) Params() Params { return s.params }
+
+// CacheStats summarizes plan-cache effectiveness.
+type CacheStats struct {
+	Hits    int64
+	Misses  int64
+	Entries int
+}
+
+// CacheStats returns a snapshot of the plan cache counters.
+func (s *Session) CacheStats() CacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return CacheStats{Hits: s.hits, Misses: s.misses, Entries: s.lru.Len()}
+}
+
+// lookup returns the cached plan for key, promoting it to most recent. A
+// miss is counted (the caller is about to compile).
+func (s *Session) lookup(key string) *legion.Program {
+	return s.find(key, true)
+}
+
+// peek is lookup without counting a miss: used when probing via the request
+// memo, where a miss falls through to the ordinary compile path (which
+// counts it exactly once).
+func (s *Session) peek(key string) *legion.Program {
+	return s.find(key, false)
+}
+
+func (s *Session) find(key string, countMiss bool) *legion.Program {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.capacity <= 0 {
+		return nil
+	}
+	el, ok := s.plans[key]
+	if !ok {
+		if countMiss {
+			s.misses++
+		}
+		return nil
+	}
+	s.hits++
+	s.lru.MoveToFront(el)
+	return el.Value.(*planEntry).prog
+}
+
+// store inserts a plan, evicting the least recently used beyond capacity.
+func (s *Session) store(key string, prog *legion.Program) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.capacity <= 0 {
+		return
+	}
+	if el, ok := s.plans[key]; ok {
+		s.lru.MoveToFront(el)
+		el.Value.(*planEntry).prog = prog
+		return
+	}
+	s.plans[key] = s.lru.PushFront(&planEntry{key: key, prog: prog})
+	for s.lru.Len() > s.capacity {
+		last := s.lru.Back()
+		s.lru.Remove(last)
+		delete(s.plans, last.Value.(*planEntry).key)
+	}
+}
+
+// Define parses the statement and binds the named tensors against the
+// session's machine; the resulting computation compiles through the
+// session's plan cache.
+func (s *Session) Define(expr string, tensors ...*Tensor) (*Computation, error) {
+	c, err := Define(expr, s.machine, tensors...)
+	if err != nil {
+		return nil, err
+	}
+	c.sess = s
+	return c, nil
+}
+
+// MustDefine is Define but panics on error.
+func (s *Session) MustDefine(expr string, tensors ...*Tensor) *Computation {
+	c, err := s.Define(expr, tensors...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Request is one compile-and-execute job in pure data form — everything a
+// server, CLI, or stored workload needs to name a computation: the
+// statement, tensor shapes, tensor formats as distribution notation text,
+// and the schedule as scheduling-command text. Requests are
+// simulation-shaped (no data is materialized); bind real data through
+// Session.Define and Program.Run instead.
+type Request struct {
+	// Stmt is the tensor index notation statement,
+	// e.g. "A(i,j) = B(i,k) * C(k,j)".
+	Stmt string
+	// Shapes gives every tensor's dimensions by name.
+	Shapes map[string][]int
+	// Formats gives tensor distribution notation per tensor,
+	// e.g. "xy->xy"; tensors without an entry default to the canonical
+	// tiling of their rank.
+	Formats map[string]string
+	// Schedule is scheduling-command text,
+	// e.g. "divide(i,io,ii,4) reorder(io,ii,j,k) distribute(io) communicate(io,A,B)".
+	// Empty means AutoSchedule.
+	Schedule string
+}
+
+// buildComputation turns a request into a schedulable computation.
+func (s *Session) buildComputation(req Request) (*Computation, error) {
+	stmt, err := ir.Parse(req.Stmt)
+	if err != nil {
+		return nil, err
+	}
+	// Reject keys that name no tensor of the statement: in a pure-data wire
+	// format a typo'd name would otherwise silently fall back to defaults.
+	named := map[string]bool{}
+	for _, name := range stmt.TensorNames() {
+		named[name] = true
+	}
+	for key := range req.Shapes {
+		if !named[key] {
+			return nil, fmt.Errorf("distal: request Shapes names %s, which is not a tensor of %q", key, req.Stmt)
+		}
+	}
+	for key := range req.Formats {
+		if !named[key] {
+			return nil, fmt.Errorf("distal: request Formats names %s, which is not a tensor of %q", key, req.Stmt)
+		}
+	}
+	var tensors []*Tensor
+	for _, name := range stmt.TensorNames() {
+		shape, ok := req.Shapes[name]
+		if !ok {
+			return nil, fmt.Errorf("distal: request has no shape for tensor %s", name)
+		}
+		var f Format
+		if src, ok := req.Formats[name]; ok {
+			f, err = ParseFormat(src)
+			if err != nil {
+				return nil, fmt.Errorf("distal: tensor %s: %w", name, err)
+			}
+		} else {
+			if len(shape) > 6 {
+				return nil, fmt.Errorf("distal: tensor %s has rank %d; the default tiling supports ranks up to 6 (give a Formats entry)", name, len(shape))
+			}
+			f = Tiled(len(shape))
+		}
+		tensors = append(tensors, NewTensor(name, f, shape...))
+	}
+	c, err := s.Define(req.Stmt, tensors...)
+	if err != nil {
+		return nil, err
+	}
+	if req.Schedule == "" {
+		if err := c.AutoSchedule(); err != nil {
+			return nil, err
+		}
+	} else if err := c.ApplySchedule(req.Schedule); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// canonicalRequest renders a request deterministically and injectively:
+// every field is length-framed, so no request can embed another's frame
+// boundaries inside a field value and collide (maps are rendered sorted and
+// in full — an entry buildComputation would reject must not canonicalize to
+// the same string as a request without it). Given a fixed session machine
+// the rendering fully determines the compile input, so it can memoize the
+// plan key.
+func canonicalRequest(req Request) string {
+	var b strings.Builder
+	frame := func(fields ...string) {
+		for _, f := range fields {
+			fmt.Fprintf(&b, "%d\x00%s", len(f), f)
+		}
+	}
+	frame(req.Stmt)
+	shapeNames := make([]string, 0, len(req.Shapes))
+	for k := range req.Shapes {
+		shapeNames = append(shapeNames, k)
+	}
+	sort.Strings(shapeNames)
+	for _, name := range shapeNames {
+		frame("s", name, fmt.Sprint(req.Shapes[name]))
+	}
+	formatNames := make([]string, 0, len(req.Formats))
+	for k := range req.Formats {
+		formatNames = append(formatNames, k)
+	}
+	sort.Strings(formatNames)
+	for _, name := range formatNames {
+		frame("f", name, req.Formats[name])
+	}
+	frame(req.Schedule)
+	return b.String()
+}
+
+// Compile compiles a request through the plan cache without executing it. A
+// request seen before resolves through a memo: the plan is returned without
+// re-parsing the statement or replaying the schedule.
+func (s *Session) Compile(req Request) (*Program, error) {
+	ck := canonicalRequest(req)
+	s.mu.Lock()
+	key, memoized := s.reqMemo[ck]
+	s.mu.Unlock()
+	if memoized {
+		if p := s.peek(key); p != nil {
+			return &Program{P: p}, nil
+		}
+	}
+	c, err := s.buildComputation(req)
+	if err != nil {
+		return nil, err
+	}
+	prog, planKey, err := c.compile()
+	if err != nil {
+		return nil, err
+	}
+	if planKey != "" && s.capacity > 0 {
+		s.mu.Lock()
+		if len(s.reqMemo) >= 4*s.capacity {
+			s.reqMemo = map[string]string{} // crude bound; entries are cheap to rebuild
+		}
+		s.reqMemo[ck] = planKey
+		s.mu.Unlock()
+	}
+	return prog, nil
+}
+
+// Execute is the single entry point a server or CLI needs: it compiles the
+// request (hitting the plan cache when the same workload was compiled
+// before) and simulates it under the session's cost model. Execution
+// modifiers (tracing, synchronous mode, ...) apply to this call only.
+func (s *Session) Execute(req Request, opts ...ExecOption) (*Result, error) {
+	prog, err := s.Compile(req)
+	if err != nil {
+		return nil, err
+	}
+	return prog.Execute(s.params, opts...)
+}
+
+// Redistribute builds (through the plan cache) a program that moves tensor
+// t into the dst format on the session's machine. See the package-level
+// Redistribute for semantics.
+func (s *Session) Redistribute(t *Tensor, dst Format) (*Program, *Tensor, error) {
+	return redistribute(s, t, dst, s.machine)
+}
+
+// RedistributeCost simulates the layout change under the session's cost
+// model and returns moved bytes and simulated seconds.
+func (s *Session) RedistributeCost(t *Tensor, dst Format) (bytes int64, seconds float64, err error) {
+	prog, _, err := s.Redistribute(t, dst)
+	if err != nil {
+		return 0, 0, err
+	}
+	res, err := prog.Simulate(s.params)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.IntraBytes + res.InterBytes, res.Time, nil
+}
+
+// cacheable reports whether the computation's plan may be cached and
+// returns its canonical key. Computations with bound data are not cached:
+// the plan would capture the data reference and Real execution mutates it.
+func (c *Computation) cacheable() bool {
+	for _, name := range c.Stmt.TensorNames() {
+		if c.tensors[name].Data != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// compileInput assembles the compiler input for this computation.
+func (c *Computation) compileInput() core.Input {
+	decls := map[string]*core.TensorDecl{}
+	for _, name := range c.Stmt.TensorNames() {
+		t := c.tensors[name]
+		decls[name] = &core.TensorDecl{
+			Name:      name,
+			Shape:     t.Shape,
+			Placement: t.Format.Placement,
+			Data:      t.Data,
+		}
+	}
+	return core.Input{
+		Stmt:     c.Stmt,
+		Machine:  c.Machine.M,
+		Tensors:  decls,
+		Schedule: c.sched,
+	}
+}
+
+// Notation returns the concrete index notation of the scheduled statement
+// (the loop structure the compiler lowers, §5.1).
+func (c *Computation) Notation() string { return cin.Build(c.sched).String() }
+
+// ScheduleText returns the schedule in its serializable command form, e.g.
+// "divide(i,io,ii,4) reorder(io,jo,ii,ji) distribute(io,jo)".
+func (c *Computation) ScheduleText() string { return c.sched.String() }
+
+// ApplySchedule parses scheduling-command text and applies it to the
+// computation's schedule, after any commands already applied.
+func (c *Computation) ApplySchedule(src string) error {
+	cs, err := schedule.Parse(src)
+	if err != nil {
+		return err
+	}
+	return c.sched.Apply(cs).Err()
+}

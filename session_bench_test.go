@@ -1,0 +1,98 @@
+package distal
+
+import (
+	"testing"
+	"time"
+)
+
+// planCacheRequest is the GEMM workload the plan-cache benchmark measures:
+// owner-computes over a 4x4 grid with broadcast-replicated inputs and a
+// sequential k chunking, so the plan has many launch points to analyze. A
+// cold Execute pays the full per-point bounds analysis during compilation;
+// a cache-hit Execute reuses the materialized plan and only walks the task
+// graph.
+func planCacheRequest() Request {
+	const n = 1024
+	return Request{
+		Stmt:    gemmStmt,
+		Shapes:  map[string][]int{"A": {n, n}, "B": {n, n}, "C": {n, n}},
+		Formats: map[string]string{"A": "xy->xy", "B": "xy->**", "C": "xy->**"},
+		Schedule: "divide(i,io,ii,4) divide(j,jo,ji,4) reorder(io,jo,ii,ji) " +
+			"distribute(io,jo) split(k,ko,ki,128) reorder(io,jo,ko,ii,ji,ki) " +
+			"communicate(ko,B,C)",
+	}
+}
+
+func planCacheMachine() *Machine { return NewMachine(CPU, 4, 4) }
+
+// BenchmarkPlanCache compares Session.Execute with a cold plan cache (every
+// iteration compiles) against a warm one (every iteration hits).
+func BenchmarkPlanCache(b *testing.B) {
+	req := planCacheRequest()
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sess := NewSession(planCacheMachine())
+			if _, err := sess.Execute(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		sess := NewSession(planCacheMachine())
+		if _, err := sess.Execute(req); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.Execute(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := sess.CacheStats()
+		if st.Misses != 1 {
+			b.Fatalf("warm loop recompiled: %+v", st)
+		}
+	})
+}
+
+// TestPlanCacheSpeedup asserts the headline property: a cache-hit Execute
+// is at least 10x faster than a cold compile+execute of the same workload.
+// Both sides take the fastest of several individually timed runs, so a
+// noisy-neighbor stall on a shared CI runner cannot skew the ratio.
+func TestPlanCacheSpeedup(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing assertion is meaningless under the race detector")
+	}
+	req := planCacheRequest()
+	cold := time.Duration(1<<62 - 1)
+	for i := 0; i < 3; i++ {
+		sess := NewSession(planCacheMachine())
+		start := time.Now()
+		if _, err := sess.Execute(req); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); d < cold {
+			cold = d
+		}
+	}
+	sess := NewSession(planCacheMachine())
+	if _, err := sess.Execute(req); err != nil {
+		t.Fatal(err)
+	}
+	warm := time.Duration(1<<62 - 1)
+	for i := 0; i < 20; i++ {
+		start := time.Now()
+		if _, err := sess.Execute(req); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); d < warm {
+			warm = d
+		}
+	}
+	ratio := float64(cold) / float64(warm)
+	t.Logf("cold=%v warm=%v ratio=%.1fx", cold, warm, ratio)
+	if ratio < 10 {
+		t.Fatalf("cache-hit Execute only %.1fx faster than cold (%v vs %v), want >= 10x", ratio, warm, cold)
+	}
+}

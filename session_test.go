@@ -1,0 +1,377 @@
+package distal
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+const gemmStmt = "A(i,j) = B(i,k) * C(k,j)"
+
+func gemmRequest(n int) Request {
+	return Request{
+		Stmt: gemmStmt,
+		Shapes: map[string][]int{
+			"A": {n, n}, "B": {n, n}, "C": {n, n},
+		},
+		Formats: map[string]string{
+			"A": "xy->xy", "B": "xy->xy", "C": "xy->xy",
+		},
+		Schedule: "divide(i,io,ii,2) divide(j,jo,ji,2) reorder(io,jo,ii,ji) " +
+			"distribute(io,jo) split(k,ko,ki,16) reorder(io,jo,ko,ii,ji,ki) " +
+			"communicate(jo,A) communicate(ko,B,C)",
+	}
+}
+
+func TestSessionExecute(t *testing.T) {
+	sess := NewSession(NewMachine(CPU, 2, 2))
+	res, err := sess.Execute(gemmRequest(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time <= 0 || res.Flops <= 0 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+	// Same request again: the plan must come from the cache.
+	if _, err := sess.Execute(gemmRequest(64)); err != nil {
+		t.Fatal(err)
+	}
+	st := sess.CacheStats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+}
+
+func TestSessionExecuteAutoSchedule(t *testing.T) {
+	sess := NewSession(NewMachine(CPU, 2, 2))
+	req := gemmRequest(64)
+	req.Schedule = "" // AutoSchedule
+	res, err := sess.Execute(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flops <= 0 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+}
+
+func TestSessionExecuteDefaultFormats(t *testing.T) {
+	sess := NewSession(NewMachine(CPU, 2, 2))
+	req := gemmRequest(64)
+	req.Formats = nil // every tensor defaults to its rank's canonical tiling
+	if _, err := sess.Execute(req); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionExecuteErrors(t *testing.T) {
+	sess := NewSession(NewMachine(CPU, 2, 2))
+	for name, req := range map[string]Request{
+		"bad statement":    {Stmt: "A(i,j) ="},
+		"missing shape":    {Stmt: gemmStmt, Shapes: map[string][]int{"A": {8, 8}}},
+		"bad format":       {Stmt: gemmStmt, Shapes: map[string][]int{"A": {8, 8}, "B": {8, 8}, "C": {8, 8}}, Formats: map[string]string{"A": "xy->>xy"}},
+		"bad schedule":     {Stmt: gemmStmt, Shapes: map[string][]int{"A": {8, 8}, "B": {8, 8}, "C": {8, 8}}, Schedule: "divide(i,io,ii)"},
+		"unknown variable": {Stmt: gemmStmt, Shapes: map[string][]int{"A": {8, 8}, "B": {8, 8}, "C": {8, 8}}, Schedule: "divide(zz,io,ii,2)"},
+		"typo'd format key": {Stmt: gemmStmt, Shapes: map[string][]int{"A": {8, 8}, "B": {8, 8}, "C": {8, 8}},
+			Formats: map[string]string{"b": "xy->x"}},
+		"extra shape key": {Stmt: gemmStmt,
+			Shapes: map[string][]int{"A": {8, 8}, "B": {8, 8}, "C": {8, 8}, "D": {8, 8}}},
+		"rank 7 without format": {Stmt: "A(a,b,c,d,e,f,g) = B(a,b,c,d,e,f,g)",
+			Shapes: map[string][]int{
+				"A": {2, 2, 2, 2, 2, 2, 2},
+				"B": {2, 2, 2, 2, 2, 2, 2},
+			}},
+	} {
+		if _, err := sess.Execute(req); err == nil {
+			t.Errorf("%s: Execute succeeded, want error", name)
+		}
+	}
+}
+
+// TestSessionRequestMemo: a repeated request resolves through the request
+// memo — no statement re-parse — and still reports plan-cache hits; results
+// stay identical, and the memoized program (which has no bound
+// computation) reports a nil Output.
+func TestSessionRequestMemo(t *testing.T) {
+	sess := NewSession(NewMachine(CPU, 2, 2))
+	req := gemmRequest(64)
+	first, err := sess.Execute(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := sess.Compile(req) // memo path
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Output() != nil {
+		t.Fatal("memo-resolved program should have no bound output tensor")
+	}
+	again, err := prog.Simulate(sess.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Time != first.Time || again.Copies != first.Copies {
+		t.Fatalf("memoized plan diverged: %+v vs %+v", again, first)
+	}
+	if st := sess.CacheStats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+	// A request differing only in schedule text must not alias the memo.
+	other := gemmRequest(64)
+	other.Schedule = "divide(i,io,ii,4) reorder(io,ii,j,k) distribute(io) communicate(io,A,B,C)"
+	if _, err := sess.Execute(other); err != nil {
+		t.Fatal(err)
+	}
+	if st := sess.CacheStats(); st.Misses != 2 {
+		t.Fatalf("stats = %+v, want a second compile for the new schedule", st)
+	}
+}
+
+// TestSessionMemoDoesNotBypassValidation: a request whose only difference
+// from a previously memoized one is an invalid map entry must still be
+// rejected, not silently served the memoized plan.
+func TestSessionMemoDoesNotBypassValidation(t *testing.T) {
+	sess := NewSession(NewMachine(CPU, 2, 2))
+	good := Request{
+		Stmt:   gemmStmt,
+		Shapes: map[string][]int{"A": {64, 64}, "B": {64, 64}, "C": {64, 64}},
+	}
+	if _, err := sess.Execute(good); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Formats = map[string]string{"b": "xy->x"} // typo'd key, otherwise identical
+	if _, err := sess.Execute(bad); err == nil {
+		t.Fatal("typo'd Formats key served from the request memo instead of failing validation")
+	}
+}
+
+// TestSessionMemoCanonicalInjective: a request must not be able to collide
+// with a memoized one by embedding another field's rendering inside its own
+// (the canonical form is length-framed precisely to prevent this).
+func TestSessionMemoCanonicalInjective(t *testing.T) {
+	sess := NewSession(NewMachine(CPU, 2, 2))
+	valid := Request{
+		Stmt:     gemmStmt,
+		Shapes:   map[string][]int{"A": {64, 64}, "B": {64, 64}, "C": {64, 64}},
+		Formats:  map[string]string{"B": "xy->xy"},
+		Schedule: gemmRequest(64).Schedule,
+	}
+	if _, err := sess.Execute(valid); err != nil {
+		t.Fatal(err)
+	}
+	// Fold the format entry's old textual rendering into the schedule of a
+	// request without that entry: it must fail schedule parsing, not be
+	// served the memoized plan.
+	forged := Request{
+		Stmt:     valid.Stmt,
+		Shapes:   valid.Shapes,
+		Schedule: "format B=xy->xy\n" + valid.Schedule,
+	}
+	if canonicalRequest(forged) == canonicalRequest(valid) {
+		t.Fatal("distinct requests canonicalize identically")
+	}
+	if _, err := sess.Execute(forged); err == nil {
+		t.Fatal("forged request executed instead of failing schedule parse")
+	}
+}
+
+func TestSessionCacheDiscriminates(t *testing.T) {
+	sess := NewSession(NewMachine(CPU, 2, 2))
+	if _, err := sess.Execute(gemmRequest(64)); err != nil {
+		t.Fatal(err)
+	}
+	other := gemmRequest(64)
+	other.Shapes["B"] = []int{64, 128}
+	other.Shapes["C"] = []int{128, 64}
+	if _, err := sess.Execute(other); err != nil {
+		t.Fatal(err)
+	}
+	st := sess.CacheStats()
+	if st.Hits != 0 || st.Misses != 2 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want 0 hits / 2 misses / 2 entries", st)
+	}
+}
+
+func TestSessionCacheEviction(t *testing.T) {
+	sess := NewSession(NewMachine(CPU, 2, 2), WithPlanCacheSize(2))
+	for _, n := range []int{16, 32, 48} {
+		if _, err := sess.Execute(gemmRequest(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := sess.CacheStats(); st.Entries != 2 {
+		t.Fatalf("entries = %d, want 2 after eviction", st.Entries)
+	}
+	// n=16 was evicted (least recent): recompiling misses.
+	if _, err := sess.Execute(gemmRequest(16)); err != nil {
+		t.Fatal(err)
+	}
+	if st := sess.CacheStats(); st.Hits != 0 || st.Misses != 4 {
+		t.Fatalf("stats = %+v, want 0 hits / 4 misses", st)
+	}
+	// n=48 is still resident.
+	if _, err := sess.Execute(gemmRequest(48)); err != nil {
+		t.Fatal(err)
+	}
+	if st := sess.CacheStats(); st.Hits != 1 {
+		t.Fatalf("stats = %+v, want a hit for the resident plan", st)
+	}
+}
+
+func TestSessionCacheDisabled(t *testing.T) {
+	sess := NewSession(NewMachine(CPU, 2, 2), WithPlanCacheSize(0))
+	for i := 0; i < 2; i++ {
+		if _, err := sess.Execute(gemmRequest(64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := sess.CacheStats(); st.Hits != 0 || st.Entries != 0 {
+		t.Fatalf("stats = %+v, want no hits and no entries with caching off", st)
+	}
+}
+
+// TestSessionBoundDataNotCached: computations with real data bound must not
+// share plans through the cache (Real execution mutates bound regions).
+func TestSessionBoundDataNotCached(t *testing.T) {
+	sess := NewSession(NewMachine(CPU, 2, 2))
+	f := MustFormat("xy->xy")
+	build := func() *Computation {
+		A := NewTensor("A", f, 16, 16).Zero()
+		B := NewTensor("B", f, 16, 16).FillRandom(1)
+		C := NewTensor("C", f, 16, 16).FillRandom(2)
+		return sess.MustDefine(gemmStmt, A, B, C)
+	}
+	for i := 0; i < 2; i++ {
+		c := build()
+		if err := c.AutoSchedule(); err != nil {
+			t.Fatal(err)
+		}
+		prog, err := c.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := prog.Run(LassenCPU()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := sess.CacheStats(); st.Entries != 0 {
+		t.Fatalf("bound-data plans were cached: %+v", st)
+	}
+}
+
+// TestSessionConcurrentSimulate: one cached plan simulated from many
+// goroutines must produce identical deterministic results (run with -race).
+func TestSessionConcurrentSimulate(t *testing.T) {
+	sess := NewSession(NewMachine(CPU, 2, 2))
+	want, err := sess.Execute(gemmRequest(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := sess.Execute(gemmRequest(64))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if res.Time != want.Time || res.Flops != want.Flops || res.Copies != want.Copies {
+				errs <- fmt.Errorf("concurrent result diverged: %+v vs %+v", res, want)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if st := sess.CacheStats(); st.Misses != 1 {
+		t.Fatalf("stats = %+v, want exactly one compile", st)
+	}
+}
+
+func TestSessionRedistribute(t *testing.T) {
+	sess := NewSession(NewMachine(CPU, 2, 2))
+	tsr := NewTensor("T", MustFormat("xy->xy"), 32, 32)
+	bytes, secs, err := sess.RedistributeCost(tsr, MustFormat("xy->x*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes <= 0 || secs <= 0 {
+		t.Fatalf("implausible cost: %d bytes, %f s", bytes, secs)
+	}
+	// The layout-change plan is cached: repeating it hits.
+	if _, _, err := sess.RedistributeCost(tsr, MustFormat("xy->x*")); err != nil {
+		t.Fatal(err)
+	}
+	if st := sess.CacheStats(); st.Hits < 1 {
+		t.Fatalf("stats = %+v, want a cache hit for the repeated layout change", st)
+	}
+}
+
+func TestProgramExecuteOptions(t *testing.T) {
+	sess := NewSession(NewMachine(CPU, 2, 2))
+	prog, err := sess.Compile(gemmRequest(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := prog.Execute(LassenCPU(), WithTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traced.Trace) == 0 {
+		t.Fatal("WithTrace produced no trace records")
+	}
+	sync1, err := prog.Execute(LassenCPU(), WithSynchronous())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := prog.Simulate(LassenCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sync1.Time < plain.Time {
+		t.Fatalf("synchronous run (%f s) faster than overlapped (%f s)", sync1.Time, plain.Time)
+	}
+}
+
+func TestScheduleTextRoundTripThroughComputation(t *testing.T) {
+	sess := NewSession(NewMachine(CPU, 2, 2))
+	f := MustFormat("xy->xy")
+	mk := func() []*Tensor {
+		return []*Tensor{
+			NewTensor("A", f, 64, 64),
+			NewTensor("B", f, 64, 64),
+			NewTensor("C", f, 64, 64),
+		}
+	}
+	c1 := sess.MustDefine(gemmStmt, mk()...)
+	c1.Schedule().
+		Divide("i", "io", "ii", 2).Divide("j", "jo", "ji", 2).
+		Reorder("io", "jo", "ii", "ji").
+		Distribute("io", "jo").
+		Communicate("jo", "A", "B", "C")
+	text := c1.ScheduleText()
+
+	c2 := sess.MustDefine(gemmStmt, mk()...)
+	if err := c2.ApplySchedule(text); err != nil {
+		t.Fatal(err)
+	}
+	if c2.ScheduleText() != text {
+		t.Fatalf("round trip changed schedule:\n  %q\n  %q", text, c2.ScheduleText())
+	}
+	// Both compile to the same cached plan.
+	if _, err := c1.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	if st := sess.CacheStats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want the parsed schedule to hit the fluent plan", st)
+	}
+}
