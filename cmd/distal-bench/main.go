@@ -10,10 +10,13 @@
 //	distal-bench -exp fig9          # algorithm verification table
 //	distal-bench -exp summary       # headline speedups (§1/§7)
 //	distal-bench -exp plancache     # session plan-cache cold/warm comparison
+//	distal-bench -exp metrics       # machine-readable workload metrics table
 //	distal-bench -nodes 256         # maximum node count (power of two)
+//	distal-bench -json out.json     # also write the metrics as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,14 +27,48 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig15a, fig15b, fig16, fig9, summary, plancache")
+	exp := flag.String("exp", "all", "experiment: all, fig15a, fig15b, fig16, fig9, summary, plancache, metrics")
 	nodes := flag.Int("nodes", 256, "maximum node count (power of two)")
+	jsonPath := flag.String("json", "", "write the metrics experiment (GFLOP/s, makespan, copies, bytes) to this file as JSON")
 	flag.Parse()
 
-	if err := run(*exp, *nodes); err != nil {
-		fmt.Fprintln(os.Stderr, "distal-bench:", err)
-		os.Exit(1)
+	fail := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "distal-bench:", err)
+			os.Exit(1)
+		}
 	}
+	if *exp != "metrics" {
+		fail(run(*exp, *nodes))
+	}
+	// The metrics sweep is shared: computed once whether it is printed
+	// (-exp metrics), written (-json), or both.
+	if *exp == "metrics" || *jsonPath != "" {
+		rows, err := experiments.Metrics(*nodes)
+		fail(err)
+		if *exp == "metrics" {
+			fmt.Println(experiments.RenderMetrics(rows))
+		}
+		if *jsonPath != "" {
+			fail(writeJSON(*jsonPath, *nodes, rows))
+		}
+	}
+}
+
+// benchReport is the schema of -json output: one file per benchmark run,
+// appended to the repo's BENCH_*.json trajectory by CI or by hand.
+type benchReport struct {
+	Schema string                  `json:"schema"`
+	Nodes  int                     `json:"nodes"`
+	Rows   []experiments.MetricRow `json:"rows"`
+}
+
+func writeJSON(path string, nodes int, rows []experiments.MetricRow) error {
+	data, err := json.MarshalIndent(benchReport{Schema: "distal-bench/v1", Nodes: nodes, Rows: rows}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func run(exp string, nodes int) error {

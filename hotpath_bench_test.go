@@ -1,0 +1,108 @@
+package distal
+
+// Hot-path benchmarks: the compile path (per-point bounds analysis and
+// launch materialization), a cold compile+execute, and large simulations.
+// These pin the performance of the paths a serving session exercises on
+// every cache miss and on every Simulate of a cached plan.
+//
+// Run with: go test -run=NONE -bench='Compile|ColdExecute|SimulateLarge' -benchmem
+
+import (
+	"testing"
+
+	"distal/internal/algorithms"
+	"distal/internal/core"
+	"distal/internal/legion"
+	"distal/internal/sim"
+)
+
+// johnson8 is an 8x8x8 Johnson 3D matmul: 512 launch points, replicated
+// faces, the heaviest compile in the evaluation suite.
+func johnson8(b *testing.B) core.Input {
+	b.Helper()
+	in, err := algorithms.Matmul(algorithms.Johnson, algorithms.MatmulConfig{
+		N: 4096, Procs: 512, ProcsPerNode: 4, GPU: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+// hierSumma is SUMMA on a 16x16 grid of GPUs grouped 4 per node with a
+// sequential chunked k loop: 32 launches of 256 points each, exercising the
+// multi-launch control path and intra/inter-node copy pricing.
+func hierSumma(b *testing.B) core.Input {
+	b.Helper()
+	in, err := algorithms.Matmul(algorithms.SUMMA, algorithms.MatmulConfig{
+		N: 8192, Procs: 256, ProcsPerNode: 4, GPU: true, ChunkSize: 256,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+// BenchmarkCompile measures the pure compile path (bounds analysis and
+// eager launch materialization) on large domains.
+func BenchmarkCompile(b *testing.B) {
+	cases := []struct {
+		name string
+		in   core.Input
+	}{
+		{"johnson8x8x8", johnson8(b)},
+		{"summa16x16seq", hierSumma(b)},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Compile(c.in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkColdExecute measures what a plan-cache miss costs end to end:
+// compile plus one simulated execution.
+func BenchmarkColdExecute(b *testing.B) {
+	in := johnson8(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		prog, err := core.Compile(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := legion.Run(prog, legion.Options{Params: sim.LassenGPU()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateLarge measures repeated simulation of cached plans over
+// big grids (the steady-state serving path).
+func BenchmarkSimulateLarge(b *testing.B) {
+	cases := []struct {
+		name string
+		in   core.Input
+	}{
+		{"johnson8x8x8", johnson8(b)},
+		{"summa16x16seq", hierSumma(b)},
+	}
+	for _, c := range cases {
+		prog, err := core.Compile(c.in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := legion.Run(prog, legion.Options{Params: sim.LassenGPU()}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -19,8 +19,12 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
+	"runtime"
 	"strings"
+	"sync"
 
 	"distal/internal/distnot"
 	"distal/internal/ir"
@@ -107,6 +111,40 @@ type compiler struct {
 	regions map[string]*legion.Region
 	seqVars []string // sequential control loops (between dist prefix and leaves)
 	leaf    []string // leaf loop variables
+
+	// Point-independent launch state, hoisted out of the per-point loop:
+	// the compiled bounds evaluator, environment variable ids, per-tensor
+	// access plans, and the distinct anchor-cut groups.
+	ev            *schedule.Evaluator
+	distIDs       []int
+	seqIDs        []int // ids of seqVars, in order
+	tensors       []tensorPlan
+	cuts          []cutGroup
+	flopsPerPoint float64
+	writePriv     legion.Privilege
+}
+
+// tensorPlan is the per-tensor slice of the launch plan: which requirement
+// it produces and how its accesses map evaluator intervals to rect bounds.
+type tensorPlan struct {
+	region *legion.Region
+	shape  []int
+	priv   legion.Privilege
+	// accesses holds, per access of this tensor in the statement, the
+	// evaluator variable id indexing each tensor dimension. A nil entry is a
+	// scalar access covering the full region.
+	accesses [][]int
+	cutIdx   int // index into cuts: the anchor environment of this tensor
+}
+
+// cutGroup is one distinct communicate-anchor cut: a prefix of the loop
+// order whose environment variables are fixed during bounds evaluation.
+// Groups are sorted by ascending cut so each adds variables to the previous
+// group's fixed set (addIDs); the last group fixes the full environment and
+// also drives the cost model.
+type cutGroup struct {
+	cut    int
+	addIDs []int
 }
 
 func (c *compiler) lower() (*legion.Program, error) {
@@ -143,6 +181,7 @@ func (c *compiler) lower() (*legion.Program, error) {
 	}
 	c.seqVars = c.order[nd:splitDepth]
 	c.leaf = c.order[splitDepth:]
+	c.buildPlan(splitDepth)
 
 	// Launch domain over the distributed variables.
 	var domain machine.Grid
@@ -186,92 +225,102 @@ func (c *compiler) posOf(name string) int {
 	return -1
 }
 
-// envFor builds the fixed-variable environment of a task: the distributed
-// point plus the launch's sequential assignment.
-func (c *compiler) envFor(point []int, seq map[string]int) map[string]int {
-	env := map[string]int{}
-	if len(c.dist) > 0 {
-		for i, v := range c.dist {
-			env[v] = point[i]
-		}
+// buildPlan hoists everything point-independent out of the per-point loop:
+// it compiles the bounds evaluator, resolves environment variable ids, maps
+// every tensor's accesses to evaluator ids, and groups tensors by their
+// communicate-anchor cut so each distinct cut is evaluated once per point.
+func (c *compiler) buildPlan(splitDepth int) {
+	stmt := c.in.Stmt
+	c.ev = c.sched.EvaluatorFor(c.extents)
+	nd := len(c.dist)
+	c.distIDs = make([]int, nd)
+	for i, v := range c.dist {
+		c.distIDs[i] = c.ev.VarID(v)
 	}
-	for k, v := range seq {
-		env[k] = v
+	c.seqIDs = make([]int, len(c.seqVars))
+	for i, v := range c.seqVars {
+		c.seqIDs[i] = c.ev.VarID(v)
 	}
-	return env
-}
 
-// anchorEnv restricts env to the variables at or above the communicate
-// anchor of the tensor, so the requirement rect aggregates all iterations
-// nested below the anchor. Distributed variables are always fixed: tasks
-// never need other tasks' data ranges.
-func (c *compiler) anchorEnv(tn string, env map[string]int) map[string]int {
-	anchor := c.sched.CommAnchor(tn)
-	cut := len(c.dist) // default: aggregate at the task level
-	if anchor != "" {
-		if p := c.posOf(anchor); p+1 > cut {
-			cut = p + 1
-		}
+	c.writePriv = legion.WriteDiscard
+	if len(stmt.ReductionVars()) > 0 || stmt.Increment {
+		c.writePriv = legion.ReduceSum
 	}
-	out := map[string]int{}
-	for i := 0; i < cut && i < len(c.order); i++ {
-		name := c.order[i]
-		if v, ok := env[name]; ok {
-			out[name] = v
-		}
-	}
-	return out
-}
+	c.flopsPerPoint = float64(stmt.FlopsPerPoint())
 
-// rectOf computes the bounding rectangle accessed by tensor tn under the
-// fixed environment env (union over all of tn's accesses in the statement).
-func (c *compiler) rectOf(tn string, env map[string]int) tensor.Rect {
-	ivs := c.sched.Intervals(env, c.extents)
-	shape := c.in.Tensors[tn].Shape
-	var out tensor.Rect
-	first := true
-	consider := func(a *ir.Access) {
-		if a.Tensor != tn {
-			return
-		}
-		r := accessRect(a, ivs, shape)
-		if first {
-			out = r
-			first = false
-			return
-		}
-		for d := range out.Lo {
-			if r.Lo[d] < out.Lo[d] {
-				out.Lo[d] = r.Lo[d]
-			}
-			if r.Hi[d] > out.Hi[d] {
-				out.Hi[d] = r.Hi[d]
+	// effCut clamps a tensor's anchor cut to [nd, splitDepth]: positions
+	// beyond splitDepth carry no environment variables, so all such cuts fix
+	// the same set.
+	effCut := func(tn string) int {
+		cut := nd // default: aggregate at the task level
+		if anchor := c.sched.CommAnchor(tn); anchor != "" {
+			if p := c.posOf(anchor); p+1 > cut {
+				cut = p + 1
 			}
 		}
+		if cut > splitDepth {
+			cut = splitDepth
+		}
+		return cut
 	}
-	consider(c.in.Stmt.LHS)
-	for _, a := range c.in.Stmt.RHS.Accesses(nil) {
-		consider(a)
-	}
-	if first {
-		return tensor.FullRect(shape)
-	}
-	return out
-}
 
-// accessRect maps an access's index intervals to a rect of the tensor.
-// Scalar accesses (no indices) over rank-1 unit regions cover [0,1).
-func accessRect(a *ir.Access, ivs map[string]schedule.Interval, shape []int) tensor.Rect {
-	if len(a.Indices) == 0 {
-		return tensor.FullRect(shape)
+	// Distinct cuts, ascending; the full environment (cut == splitDepth) is
+	// always present for the cost model.
+	names := stmt.TensorNames()
+	cutSet := map[int]bool{splitDepth: true}
+	for _, tn := range names {
+		cutSet[effCut(tn)] = true
 	}
-	lo := make([]int, len(a.Indices))
-	hi := make([]int, len(a.Indices))
-	for d, v := range a.Indices {
-		iv := ivs[v.Name]
-		lo[d], hi[d] = iv.Lo, iv.Hi
+	cutIdx := map[int]int{}
+	for cut := nd; cut <= splitDepth; cut++ {
+		if cutSet[cut] {
+			cutIdx[cut] = len(c.cuts)
+			c.cuts = append(c.cuts, cutGroup{cut: cut})
+		}
 	}
-	return tensor.NewRect(lo, hi).Clamp(shape)
+	// addIDs: environment ids (dist + seq) newly fixed by each group
+	// relative to the previous one. Distributed ids are fixed by every cut.
+	prev := 0
+	for i := range c.cuts {
+		var add []int
+		if i == 0 {
+			add = append(add, c.distIDs...)
+			prev = nd
+		}
+		for ; prev < c.cuts[i].cut; prev++ {
+			add = append(add, c.seqIDs[prev-nd])
+		}
+		c.cuts[i].addIDs = add
+	}
+
+	allAccesses := append([]*ir.Access{stmt.LHS}, stmt.RHS.Accesses(nil)...)
+	for ti, tn := range names {
+		t := c.in.Tensors[tn]
+		tp := tensorPlan{
+			region: c.regions[tn],
+			shape:  t.Shape,
+			priv:   legion.ReadOnly,
+			cutIdx: cutIdx[effCut(tn)],
+		}
+		if ti == 0 {
+			tp.priv = c.writePriv
+		}
+		for _, a := range allAccesses {
+			if a.Tensor != tn {
+				continue
+			}
+			if len(a.Indices) == 0 {
+				tp.accesses = append(tp.accesses, nil)
+				continue
+			}
+			dims := make([]int, len(a.Indices))
+			for d, v := range a.Indices {
+				dims[d] = c.ev.VarID(v.Name)
+			}
+			tp.accesses = append(tp.accesses, dims)
+		}
+		c.tensors = append(c.tensors, tp)
+	}
 }
 
 // launchName renders "kernel[ko=2,…]" for diagnostics and traces.
@@ -286,12 +335,60 @@ func launchName(stmt *ir.Assignment, seqVars []string, seq map[string]int) strin
 	return stmt.LHS.Tensor + "[" + strings.Join(parts, ",") + "]"
 }
 
-// pointInfo holds everything derived from one task point: the region
-// requirement rectangles and the analytic cost-model inputs.
+// pointInfo is one deduplicated task description: an offset into the
+// launch's shared requirement slab and the analytic cost-model inputs.
 type pointInfo struct {
-	reqs     []legion.Req
+	off      int
 	flops    float64
 	memBytes float64
+}
+
+// pointWorker holds one materialization goroutine's scratch state: reusable
+// evaluator buffers, rect bound buffers, a key buffer, and worker-local
+// interning tables. Nothing here escapes to another worker.
+type pointWorker struct {
+	start, end int
+
+	point          []int
+	fixed          []bool
+	vals           []int
+	ivs            [][]schedule.Interval
+	rectLo, rectHi [][]int
+	keyBuf         []byte
+
+	rects map[string]tensor.Rect // interned rects, keyed by packed bounds
+	seen  map[string]int32       // packed point key -> local info index
+	infos []workerInfo
+}
+
+// workerInfo is one distinct point description found by a worker, prior to
+// the cross-worker merge.
+type workerInfo struct {
+	key      string
+	rects    []tensor.Rect // one per tensor, interned
+	flops    float64
+	memBytes float64
+}
+
+// maxMaterializeWorkers bounds the worker pool: launch materialization is
+// memory-bound map work that stops scaling early, and compiles may already
+// run concurrently across sessions.
+const maxMaterializeWorkers = 8
+
+// materializeWorkers picks the pool size for an n-point domain; small
+// domains are not worth the goroutine handoff.
+func materializeWorkers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > maxMaterializeWorkers {
+		w = maxMaterializeWorkers
+	}
+	if per := (n + 63) / 64; w > per {
+		w = per
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // buildLaunch lowers one index launch. The bounds analysis of every domain
@@ -300,60 +397,234 @@ type pointInfo struct {
 // prerequisite of plan caching — and repeated executions of a cached plan
 // skip the analysis entirely (it is the dominant cost of a cold
 // compile+execute).
+//
+// Materialization runs the compiled evaluator once per (point, anchor cut)
+// over a bounded worker pool; identical points (common under replication)
+// are interned so the launch stores each distinct requirement set once, in
+// one shared slab.
 func (c *compiler) buildLaunch(domain machine.Grid, seq map[string]int) *legion.Launch {
-	stmt := c.in.Stmt
-	lhs := stmt.LHS.Tensor
-	writePriv := legion.WriteDiscard
-	if len(stmt.ReductionVars()) > 0 || stmt.Increment {
-		writePriv = legion.ReduceSum
+	n := domain.Size()
+	nt := len(c.tensors)
+	seqVals := make([]int, len(c.seqIDs))
+	for i, v := range c.seqVars {
+		seqVals[i] = seq[v]
 	}
-	infos := make([]pointInfo, domain.Size())
-	domain.Points(func(point []int) {
-		pi := &infos[domain.Linearize(point)]
-		env := c.envFor(point, seq)
-		// LHS write requirement aggregates at the task level.
-		pi.reqs = append(pi.reqs, legion.Req{
-			Region: c.regions[lhs],
-			Rect:   c.rectOf(lhs, c.anchorEnv(lhs, env)),
-			Priv:   writePriv,
-		})
-		seen := map[string]bool{lhs: true}
-		for _, a := range stmt.RHS.Accesses(nil) {
-			if seen[a.Tensor] {
-				continue
+
+	idx := make([]int32, n) // point -> worker-local, then global, info index
+	nw := materializeWorkers(n)
+	workers := make([]*pointWorker, nw)
+	chunk := (n + nw - 1) / nw
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		start := w * chunk
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		pw := c.newPointWorker(start, end, domain.Rank(), seqVals)
+		workers[w] = pw
+		if nw == 1 {
+			c.materializeChunk(pw, domain, idx)
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.materializeChunk(pw, domain, idx)
+		}()
+	}
+	wg.Wait()
+
+	// Merge worker-local infos into the launch's shared requirement slab,
+	// deduplicating across workers. Workers are merged in chunk order so the
+	// result is deterministic.
+	var uniq int
+	for _, pw := range workers {
+		uniq += len(pw.infos)
+	}
+	slab := make([]legion.Req, 0, uniq*nt)
+	infos := make([]pointInfo, 0, uniq)
+	global := make(map[string]int32, uniq)
+	for _, pw := range workers {
+		trans := make([]int32, len(pw.infos))
+		for li, wi := range pw.infos {
+			gi, ok := global[wi.key]
+			if !ok {
+				gi = int32(len(infos))
+				global[wi.key] = gi
+				off := len(slab)
+				for ti := range c.tensors {
+					slab = append(slab, legion.Req{
+						Region: c.tensors[ti].region,
+						Rect:   wi.rects[ti],
+						Priv:   c.tensors[ti].priv,
+					})
+				}
+				infos = append(infos, pointInfo{off: off, flops: wi.flops, memBytes: wi.memBytes})
 			}
-			seen[a.Tensor] = true
-			pi.reqs = append(pi.reqs, legion.Req{
-				Region: c.regions[a.Tensor],
-				Rect:   c.rectOf(a.Tensor, c.anchorEnv(a.Tensor, env)),
-				Priv:   legion.ReadOnly,
-			})
+			trans[li] = gi
 		}
-		ivs := c.sched.Intervals(env, c.extents)
-		points := 1.0
-		for _, v := range stmt.Vars() {
-			iv := ivs[v.Name]
-			n := iv.Hi - iv.Lo
-			if n <= 0 {
-				points = 0
-				break
-			}
-			points *= float64(n)
+		for i := pw.start; i < pw.end; i++ {
+			idx[i] = trans[idx[i]]
 		}
-		pi.flops = points * float64(stmt.FlopsPerPoint())
-		for _, q := range pi.reqs {
-			pi.memBytes += float64(q.Region.Bytes(q.Rect))
-		}
-	})
-	info := func(point []int) *pointInfo { return &infos[domain.Linearize(point)] }
+	}
+
+	info := func(point []int) *pointInfo { return &infos[idx[domain.Linearize(point)]] }
 	return &legion.Launch{
-		Name:   launchName(stmt, c.seqVars, seq),
+		Name:   launchName(c.in.Stmt, c.seqVars, seq),
 		Domain: domain,
-		Reqs:   func(point []int) []legion.Req { return info(point).reqs },
+		Reqs: func(point []int) []legion.Req {
+			pi := info(point)
+			return slab[pi.off : pi.off+nt : pi.off+nt]
+		},
 		Kernel: legion.Kernel{
 			Flops:    func(point []int) float64 { return info(point).flops },
 			MemBytes: func(point []int) float64 { return info(point).memBytes },
 			Run:      c.realKernel(seq),
 		},
+	}
+}
+
+// newPointWorker allocates one worker's scratch, pre-binding the launch's
+// sequential assignment (constant across the chunk).
+func (c *compiler) newPointWorker(start, end, rank int, seqVals []int) *pointWorker {
+	nv := c.ev.NumVars()
+	pw := &pointWorker{
+		start: start, end: end,
+		point: make([]int, rank),
+		fixed: make([]bool, nv),
+		vals:  make([]int, nv),
+		ivs:   make([][]schedule.Interval, len(c.cuts)),
+		rects: map[string]tensor.Rect{},
+		seen:  map[string]int32{},
+	}
+	for i := range pw.ivs {
+		pw.ivs[i] = make([]schedule.Interval, nv)
+	}
+	for _, tp := range c.tensors {
+		r := len(tp.shape)
+		pw.rectLo = append(pw.rectLo, make([]int, r))
+		pw.rectHi = append(pw.rectHi, make([]int, r))
+	}
+	for i, id := range c.seqIDs {
+		pw.vals[id] = seqVals[i]
+	}
+	return pw
+}
+
+// materializeChunk analyzes the worker's contiguous range of domain points:
+// for each point it evaluates every distinct anchor cut once, derives the
+// per-tensor requirement rects and cost-model inputs, and interns the
+// resulting description.
+func (c *compiler) materializeChunk(pw *pointWorker, domain machine.Grid, idx []int32) {
+	ev := c.ev
+	origIDs := ev.OrigIDs()
+	full := len(c.cuts) - 1
+	for i := pw.start; i < pw.end; i++ {
+		domain.DelinearizeInto(i, pw.point)
+		for d, id := range c.distIDs {
+			pw.vals[id] = pw.point[d]
+		}
+		// Evaluate cut groups in ascending order: each fixes the variables
+		// it adds over the previous group.
+		for g := range c.cuts {
+			for _, id := range c.cuts[g].addIDs {
+				pw.fixed[id] = true
+			}
+			ev.Eval(pw.fixed, pw.vals, pw.ivs[g])
+		}
+		for g := range c.cuts {
+			for _, id := range c.cuts[g].addIDs {
+				pw.fixed[id] = false
+			}
+		}
+
+		// Requirement bounds per tensor: union over the tensor's accesses,
+		// clamped to its shape.
+		pw.keyBuf = pw.keyBuf[:0]
+		for ti := range c.tensors {
+			tp := &c.tensors[ti]
+			lo, hi := pw.rectLo[ti], pw.rectHi[ti]
+			ivs := pw.ivs[tp.cutIdx]
+			first := true
+			fullRect := len(tp.accesses) == 0
+			for _, dims := range tp.accesses {
+				if dims == nil {
+					fullRect = true // scalar access: full region
+					break
+				}
+				if first {
+					for d, id := range dims {
+						lo[d], hi[d] = ivs[id].Lo, ivs[id].Hi
+					}
+					first = false
+					continue
+				}
+				for d, id := range dims {
+					if ivs[id].Lo < lo[d] {
+						lo[d] = ivs[id].Lo
+					}
+					if ivs[id].Hi > hi[d] {
+						hi[d] = ivs[id].Hi
+					}
+				}
+			}
+			if fullRect {
+				for d, s := range tp.shape {
+					lo[d], hi[d] = 0, s
+				}
+			} else {
+				for d, s := range tp.shape {
+					if lo[d] < 0 {
+						lo[d] = 0
+					}
+					if hi[d] > s {
+						hi[d] = s
+					}
+				}
+			}
+			for d := range lo {
+				pw.keyBuf = binary.LittleEndian.AppendUint64(pw.keyBuf, uint64(lo[d]))
+				pw.keyBuf = binary.LittleEndian.AppendUint64(pw.keyBuf, uint64(hi[d]))
+			}
+		}
+
+		// Cost-model inputs from the full environment.
+		points := 1.0
+		fullIvs := pw.ivs[full]
+		for _, id := range origIDs {
+			w := fullIvs[id].Hi - fullIvs[id].Lo
+			if w <= 0 {
+				points = 0
+				break
+			}
+			points *= float64(w)
+		}
+		flops := points * c.flopsPerPoint
+		pw.keyBuf = binary.LittleEndian.AppendUint64(pw.keyBuf, math.Float64bits(flops))
+
+		li, ok := pw.seen[string(pw.keyBuf)]
+		if !ok {
+			wi := workerInfo{key: string(pw.keyBuf), flops: flops}
+			pos := 0
+			for ti := range c.tensors {
+				// Each tensor's packed bounds are a substring of the point
+				// key; reuse them to intern the rect itself.
+				rkeyEnd := pos + 16*len(c.tensors[ti].shape)
+				rk := wi.key[pos:rkeyEnd]
+				pos = rkeyEnd
+				r, ok := pw.rects[rk]
+				if !ok {
+					r = tensor.NewRect(pw.rectLo[ti], pw.rectHi[ti])
+					pw.rects[rk] = r
+				}
+				wi.rects = append(wi.rects, r)
+				wi.memBytes += float64(c.tensors[ti].region.Bytes(r))
+			}
+			li = int32(len(pw.infos))
+			pw.seen[wi.key] = li
+			pw.infos = append(pw.infos, wi)
+		}
+		idx[i] = li
 	}
 }

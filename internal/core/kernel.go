@@ -5,36 +5,149 @@ import (
 
 	"distal/internal/ir"
 	"distal/internal/legion"
+	"distal/internal/schedule"
+)
+
+// compiledExpr is the statement's RHS lowered to a pointer tree whose
+// accesses carry a dense index — the leaf loop evaluates it without any map
+// lookups (the same design as the compiled bounds evaluator).
+type compiledExpr struct {
+	op     exprOp
+	tensor string  // exAccess
+	acc    int     // exAccess: index into the access-plan tables
+	val    float64 // exLit
+	l, r   *compiledExpr
+}
+
+type exprOp uint8
+
+const (
+	exAccess exprOp = iota
+	exLit
+	exAdd
+	exMul
 )
 
 // realKernel builds the Real-mode leaf body: a generic fused einsum loop
 // nest over the leaf variables that reconstructs original index values from
-// the schedule's derivations, skips out-of-extent points (ragged blocks),
-// and accumulates into the LHS through the task's write requirement.
+// the schedule's derivations via the compiled evaluator, skips
+// out-of-extent points (ragged blocks), and accumulates into the LHS
+// through the task's write requirement. Per-invocation scratch keeps tasks
+// of a shared cached plan safe to run concurrently.
 func (c *compiler) realKernel(seq map[string]int) func(ctx *legion.Ctx) {
 	stmt := c.in.Stmt
 	lhs := stmt.LHS
 	reduces := len(stmt.ReductionVars()) > 0 || stmt.Increment
-	leafVars := c.leaf
+	ev := c.ev
+
+	// Position of each original variable in the evaluator's value output.
+	origPos := map[string]int{}
+	for i, id := range ev.OrigIDs() {
+		origPos[ev.VarName(int(id))] = i
+	}
+	// Access plans, one per access (LHS first): the value position indexing
+	// each tensor dimension, resolved once here rather than per leaf point.
+	var accPlans [][]int
+	addAccess := func(a *ir.Access) int {
+		dims := make([]int, len(a.Indices))
+		for d, v := range a.Indices {
+			dims[d] = origPos[v.Name]
+		}
+		accPlans = append(accPlans, dims)
+		return len(accPlans) - 1
+	}
+	addAccess(lhs)
+	var compile func(e ir.Expr) *compiledExpr
+	compile = func(e ir.Expr) *compiledExpr {
+		switch e := e.(type) {
+		case *ir.Access:
+			return &compiledExpr{op: exAccess, tensor: e.Tensor, acc: addAccess(e)}
+		case *ir.Literal:
+			return &compiledExpr{op: exLit, val: e.Value}
+		case *ir.Add:
+			return &compiledExpr{op: exAdd, l: compile(e.L), r: compile(e.R)}
+		case *ir.Mul:
+			return &compiledExpr{op: exMul, l: compile(e.L), r: compile(e.R)}
+		default:
+			panic(fmt.Sprintf("core: unknown expression %T", e))
+		}
+	}
+	rhs := compile(stmt.RHS)
+
+	type binding struct{ id, val int }
+	var seqBind []binding
+	for _, v := range c.seqVars {
+		seqBind = append(seqBind, binding{ev.VarID(v), seq[v]})
+	}
+	distIDs := append([]int(nil), c.distIDs...)
+	leafIDs := make([]int, len(c.leaf))
+	leafExt := make([]int, len(c.leaf))
+	for i, name := range c.leaf {
+		leafIDs[i] = ev.VarID(name)
+		leafExt[i] = c.extents[name]
+	}
+
 	return func(ctx *legion.Ctx) {
-		env := c.envFor(ctx.Point, seq)
+		nv := ev.NumVars()
+		fixed := make([]bool, nv)
+		vals := make([]int, nv)
+		scratch := make([]schedule.Interval, nv)
+		origVals := make([]int, len(ev.OrigIDs()))
+		for i, id := range distIDs {
+			fixed[id] = true
+			vals[id] = ctx.Point[i]
+		}
+		for _, b := range seqBind {
+			fixed[b.id] = true
+			vals[b.id] = b.val
+		}
+		for _, id := range leafIDs {
+			fixed[id] = true
+		}
+		// Per-access point buffers, indexed like accPlans.
+		accBufs := make([][]int, len(accPlans))
+		for i, dims := range accPlans {
+			if len(dims) == 0 {
+				accBufs[i] = scalarPoint // scalars are rank-1 unit regions
+				continue
+			}
+			accBufs[i] = make([]int, len(dims))
+		}
+		pointFor := func(acc int) []int {
+			dims := accPlans[acc]
+			p := accBufs[acc]
+			for d, pos := range dims {
+				p[d] = origVals[pos]
+			}
+			return p
+		}
+		var evalExpr func(e *compiledExpr) float64
+		evalExpr = func(e *compiledExpr) float64 {
+			switch e.op {
+			case exAccess:
+				return ctx.ReadAt(e.tensor, pointFor(e.acc)...)
+			case exLit:
+				return e.val
+			case exAdd:
+				return evalExpr(e.l) + evalExpr(e.r)
+			default:
+				return evalExpr(e.l) * evalExpr(e.r)
+			}
+		}
 		var walk func(d int)
 		walk = func(d int) {
-			if d < len(leafVars) {
-				name := leafVars[d]
-				for x := 0; x < c.extents[name]; x++ {
-					env[name] = x
+			if d < len(leafIDs) {
+				for x := 0; x < leafExt[d]; x++ {
+					vals[leafIDs[d]] = x
 					walk(d + 1)
 				}
-				delete(env, name)
 				return
 			}
-			vals, ok := c.sched.Value(env, c.extents)
-			if !ok {
+			if !ev.ValueInto(fixed, vals, scratch, origVals) {
 				return // ragged-boundary point outside the iteration space
 			}
-			v := evalRHS(stmt.RHS, vals, ctx)
-			p := pointOf(lhs, vals)
+			v := evalExpr(rhs)
+			p := pointFor(0)
 			if reduces {
 				ctx.WriteAdd(lhs.Tensor, v, p...)
 			} else {
@@ -45,28 +158,4 @@ func (c *compiler) realKernel(seq map[string]int) func(ctx *legion.Ctx) {
 	}
 }
 
-func pointOf(a *ir.Access, vals map[string]int) []int {
-	if len(a.Indices) == 0 {
-		return []int{0} // scalars are rank-1 unit regions
-	}
-	p := make([]int, len(a.Indices))
-	for d, v := range a.Indices {
-		p[d] = vals[v.Name]
-	}
-	return p
-}
-
-func evalRHS(e ir.Expr, vals map[string]int, ctx *legion.Ctx) float64 {
-	switch e := e.(type) {
-	case *ir.Access:
-		return ctx.ReadAt(e.Tensor, pointOf(e, vals)...)
-	case *ir.Literal:
-		return e.Value
-	case *ir.Add:
-		return evalRHS(e.L, vals, ctx) + evalRHS(e.R, vals, ctx)
-	case *ir.Mul:
-		return evalRHS(e.L, vals, ctx) * evalRHS(e.R, vals, ctx)
-	default:
-		panic(fmt.Sprintf("core: unknown expression %T", e))
-	}
-}
+var scalarPoint = []int{0}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"distal/internal/algorithms"
+	"distal/internal/core"
+	"distal/internal/legion"
+	"distal/internal/sim"
+)
+
+// MetricRow is one machine-readable benchmark measurement: the simulated
+// workload metrics of an experiment configuration plus the host-side cost
+// of compiling and simulating it. Rows are what `distal-bench -json` writes
+// to start a performance trajectory across PRs.
+type MetricRow struct {
+	Experiment    string  `json:"experiment"`
+	Config        string  `json:"config"`
+	Nodes         int     `json:"nodes"`
+	GFlops        float64 `json:"gflops"`
+	GFlopsPerNode float64 `json:"gflops_per_node"`
+	MakespanSec   float64 `json:"makespan_sec"`
+	Copies        int64   `json:"copies"`
+	IntraBytes    int64   `json:"intra_bytes"`
+	InterBytes    int64   `json:"inter_bytes"`
+	PeakMemBytes  int64   `json:"peak_mem_bytes"`
+	OOM           bool    `json:"oom"`
+	CompileMS     float64 `json:"compile_ms"`
+	SimulateMS    float64 `json:"simulate_ms"`
+}
+
+// Metrics runs every matrix-multiplication algorithm of Figure 15 at the
+// given node count on the simulated Lassen CPU and GPU machines and returns
+// one row per configuration.
+func Metrics(nodes int) ([]MetricRow, error) {
+	var rows []MetricRow
+	for _, gpu := range []bool{false, true} {
+		base, procs, ppn := 8192, nodes*2, 2
+		params := sim.LassenCPU()
+		exp := "matmul-cpu"
+		if gpu {
+			base, procs, ppn = 19968, nodes*4, 4
+			params = sim.LassenGPU()
+			exp = "matmul-gpu"
+		}
+		n := weakScaledN(base, nodes)
+		for _, alg := range algorithms.MatmulAlgs {
+			cfg := algorithms.MatmulConfig{N: n, Procs: procs, ProcsPerNode: ppn, GPU: gpu}
+			in, err := algorithms.Matmul(alg, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("metrics %s/%s: %w", exp, alg, err)
+			}
+			row, err := measure(in, params)
+			if err != nil {
+				return nil, fmt.Errorf("metrics %s/%s: %w", exp, alg, err)
+			}
+			row.Experiment = exp
+			row.Config = string(alg)
+			row.Nodes = nodes
+			row.GFlopsPerNode = row.GFlops / float64(nodes)
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// measure compiles and simulates one input, timing both host-side phases.
+func measure(in core.Input, params sim.Params) (MetricRow, error) {
+	t0 := time.Now()
+	prog, err := core.Compile(in)
+	if err != nil {
+		return MetricRow{}, err
+	}
+	compile := time.Since(t0)
+	t0 = time.Now()
+	res, err := legion.Run(prog, legion.Options{Params: params})
+	if err != nil {
+		return MetricRow{}, err
+	}
+	simulate := time.Since(t0)
+	return MetricRow{
+		GFlops:       res.GFlopsPerSec(),
+		MakespanSec:  res.Time,
+		Copies:       res.Copies,
+		IntraBytes:   res.IntraBytes,
+		InterBytes:   res.InterBytes,
+		PeakMemBytes: res.PeakMemBytes,
+		OOM:          res.OOM,
+		CompileMS:    float64(compile.Microseconds()) / 1e3,
+		SimulateMS:   float64(simulate.Microseconds()) / 1e3,
+	}, nil
+}
+
+// RenderMetrics prints metric rows as an aligned text table.
+func RenderMetrics(rows []MetricRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# metrics (per configuration)\n")
+	fmt.Fprintf(&b, "%-12s %-10s %6s %12s %12s %8s %10s %10s %10s %10s\n",
+		"experiment", "config", "nodes", "GFLOP/s", "makespan", "copies", "intra-GB", "inter-GB", "compile", "simulate")
+	for _, r := range rows {
+		state := ""
+		if r.OOM {
+			state = " OOM"
+		}
+		fmt.Fprintf(&b, "%-12s %-10s %6d %12.1f %11.3fs %8d %10.2f %10.2f %8.1fms %8.1fms%s\n",
+			r.Experiment, r.Config, r.Nodes, r.GFlops, r.MakespanSec, r.Copies,
+			float64(r.IntraBytes)/1e9, float64(r.InterBytes)/1e9, r.CompileMS, r.SimulateMS, state)
+	}
+	return b.String()
+}

@@ -72,36 +72,76 @@ func (r *Result) GFlopsPerSec() float64 {
 type instance struct {
 	leaf       int
 	rect       tensor.Rect
+	key        tensor.RectKey
+	seq        int64 // installation order (transients; candidate tie-breaking)
 	validAt    float64
 	persistent bool
 	live       bool
 	bytes      int64
 }
 
+// transGroup is the set of live transient instances sharing one rect.
+// Grouping makes ensureLocal's candidate search scan distinct rects rather
+// than every instance; installation order is restored from instance.seq.
+type transGroup struct {
+	rect  tensor.Rect
+	insts []*instance
+}
+
 type regState struct {
 	region     *Region
 	persistent []*instance         // one per owning leaf
 	perLeaf    map[int][]*instance // all live instances by leaf
-	transient  []*instance         // live transient instances (all leaves)
 	transFIFO  map[int][]*instance // per-leaf eviction order
+
+	// Live transient instances indexed by rect. transGroups has no
+	// meaningful order (empty groups are swap-removed); candidate order
+	// comes from instance.seq.
+	transGroups []*transGroup
+	transByKey  map[tensor.RectKey]*transGroup
+
+	// cover indexes the persistent instances by requirement rect: the
+	// (immutable) candidate list of owners fully containing that rect.
+	// Filled lazily, it turns ensureLocal's per-requirement O(instances)
+	// scan into one map lookup — requirement rects repeat across points and
+	// launches.
+	cover map[tensor.RectKey][]*instance
+}
+
+// coverFor returns the persistent instances whose rect contains the given
+// requirement rect, in placement order.
+func (rs *regState) coverFor(key tensor.RectKey, rect tensor.Rect) []*instance {
+	if c, ok := rs.cover[key]; ok {
+		return c
+	}
+	var c []*instance
+	for _, inst := range rs.persistent {
+		if inst.rect.ContainsRect(rect) {
+			c = append(c, inst)
+		}
+	}
+	rs.cover[key] = c
+	return c
 }
 
 type accKey struct {
-	region string
+	region *Region
 	leaf   int
-	rect   string
+	rect   tensor.RectKey
 }
 
 type executor struct {
-	prog   *Program
-	opt    Options
-	s      *sim.Sim
-	lg     machine.Grid
-	gpuMem bool
-	reg    map[*Region]*regState
-	accs   map[accKey]*accumulator
-	accSeq []*accumulator
-	trace  []CopyRecord
+	prog    *Program
+	opt     Options
+	s       *sim.Sim
+	lg      machine.Grid
+	gpuMem  bool
+	reg     map[*Region]*regState
+	accs    map[accKey]*accumulator
+	accSeq  []*accumulator
+	trace   []CopyRecord
+	candBuf []*instance // scratch for ensureLocal's candidate collection
+	instSeq int64       // next transient installation sequence number
 
 	// Double-buffering throttle: copies for a leaf's task in launch s may
 	// not start before its task in launch s-TransientWindow completed
@@ -167,13 +207,17 @@ func (e *executor) placeInitial() error {
 			return fmt.Errorf("legion: Real execution requires data bound to region %s", r.Name)
 		}
 		rs := &regState{
-			region:    r,
-			perLeaf:   map[int][]*instance{},
-			transFIFO: map[int][]*instance{},
+			region:     r,
+			perLeaf:    map[int][]*instance{},
+			transFIFO:  map[int][]*instance{},
+			transByKey: map[tensor.RectKey]*transGroup{},
+			cover:      map[tensor.RectKey][]*instance{},
 		}
 		n := e.lg.Size()
+		coord := make([]int, e.lg.Rank())
 		for leaf := 0; leaf < n; leaf++ {
-			rect, ok := r.OwnerRect(e.prog.Machine, e.lg.Delinearize(leaf))
+			e.lg.DelinearizeInto(leaf, coord)
+			rect, ok := r.OwnerRect(e.prog.Machine, coord)
 			if !ok || rect.Empty() {
 				continue
 			}
@@ -193,8 +237,9 @@ func (e *executor) runLaunch(l *Launch) error {
 		mapPoint = defaultMapPoint(l.Domain, e.lg)
 	}
 	n := l.Domain.Size()
+	point := make([]int, l.Domain.Rank())
 	for i := 0; i < n; i++ {
-		point := l.Domain.Delinearize(i)
+		l.Domain.DelinearizeInto(i, point)
 		leaf := mapPoint(point)
 		if leaf < 0 || leaf >= e.lg.Size() {
 			return fmt.Errorf("legion: launch %s maps point %v to leaf %d outside the machine", l.Name, point, leaf)
@@ -271,20 +316,26 @@ func (e *executor) ensureLocal(l *Launch, point []int, q Req, leaf int, issueAt 
 			return maxf(inst.validAt, issueAt), nil
 		}
 	}
-	// Gather candidate source instances that fully contain the rect.
-	var candidates []*instance
-	for _, inst := range rs.persistent {
-		if inst.rect.ContainsRect(q.Rect) {
-			candidates = append(candidates, inst)
-		}
-	}
+	// Gather candidate source instances that fully contain the rect:
+	// persistent owners via the rect index, then live transients (scanning
+	// distinct rects, not instances; re-sorted into installation order so
+	// the source selection is identical to an exhaustive ordered scan).
+	candidates := append(e.candBuf[:0], rs.coverFor(q.Rect.Key(), q.Rect)...)
 	if !e.opt.OwnerOnly {
-		for _, inst := range rs.transient {
-			if inst.live && inst.rect.ContainsRect(q.Rect) {
-				candidates = append(candidates, inst)
+		base := len(candidates)
+		for _, g := range rs.transGroups {
+			if g.rect.ContainsRect(q.Rect) {
+				candidates = append(candidates, g.insts...)
+			}
+		}
+		tail := candidates[base:]
+		for i := 1; i < len(tail); i++ {
+			for j := i; j > 0 && tail[j].seq < tail[j-1].seq; j-- {
+				tail[j], tail[j-1] = tail[j-1], tail[j]
 			}
 		}
 	}
+	e.candBuf = candidates[:0]
 	bytes := q.Region.Bytes(q.Rect)
 	if len(candidates) == 0 {
 		// No single instance holds the whole rect: gather piecewise from the
@@ -299,8 +350,9 @@ func (e *executor) ensureLocal(l *Launch, point []int, q Req, leaf int, issueAt 
 			best, bestEnd = c, end
 		}
 	}
-	end := e.s.Copy(best.leaf, leaf, bytes, maxf(issueAt, best.validAt), e.gpuMem, replicas)
-	e.record(l, point, q, best.leaf, leaf, bestEnd, end)
+	start := maxf(issueAt, best.validAt)
+	end := e.s.Copy(best.leaf, leaf, bytes, start, e.gpuMem, replicas)
+	e.record(l, point, q, best.leaf, leaf, start, end)
 	e.installTransient(rs, leaf, q.Rect, end, bytes)
 	return end, nil
 }
@@ -322,8 +374,9 @@ func (e *executor) gather(l *Launch, point []int, q Req, leaf int, issueAt float
 			latest = maxf(latest, inst.validAt)
 			continue
 		}
-		end := e.s.Copy(inst.leaf, leaf, pb, maxf(issueAt, inst.validAt), e.gpuMem, 1)
-		e.record(l, point, Req{Region: q.Region, Rect: piece, Priv: q.Priv}, inst.leaf, leaf, issueAt, end)
+		start := maxf(issueAt, inst.validAt)
+		end := e.s.Copy(inst.leaf, leaf, pb, start, e.gpuMem, 1)
+		e.record(l, point, Req{Region: q.Region, Rect: piece, Priv: q.Priv}, inst.leaf, leaf, start, end)
 		latest = maxf(latest, end)
 	}
 	if covered < bytes {
@@ -335,9 +388,19 @@ func (e *executor) gather(l *Launch, point []int, q Req, leaf int, issueAt float
 }
 
 func (e *executor) installTransient(rs *regState, leaf int, rect tensor.Rect, validAt float64, bytes int64) {
-	inst := &instance{leaf: leaf, rect: rect, validAt: validAt, live: true, bytes: bytes}
+	inst := &instance{
+		leaf: leaf, rect: rect, key: rect.Key(), seq: e.instSeq,
+		validAt: validAt, live: true, bytes: bytes,
+	}
+	e.instSeq++
 	rs.perLeaf[leaf] = append(rs.perLeaf[leaf], inst)
-	rs.transient = append(rs.transient, inst)
+	g := rs.transByKey[inst.key]
+	if g == nil {
+		g = &transGroup{rect: rect}
+		rs.transByKey[inst.key] = g
+		rs.transGroups = append(rs.transGroups, g)
+	}
+	g.insts = append(g.insts, inst)
 	rs.transFIFO[leaf] = append(rs.transFIFO[leaf], inst)
 	e.s.Alloc(leaf, bytes)
 	for len(rs.transFIFO[leaf]) > e.opt.TransientWindow {
@@ -346,7 +409,20 @@ func (e *executor) installTransient(rs *regState, leaf int, rect tensor.Rect, va
 		old.live = false
 		e.s.Free(leaf, old.bytes)
 		rs.perLeaf[leaf] = removeInst(rs.perLeaf[leaf], old)
-		rs.transient = removeInst(rs.transient, old)
+		og := rs.transByKey[old.key]
+		og.insts = removeInst(og.insts, old)
+		if len(og.insts) == 0 {
+			delete(rs.transByKey, old.key)
+			for i, gg := range rs.transGroups {
+				if gg == og {
+					last := len(rs.transGroups) - 1
+					rs.transGroups[i] = rs.transGroups[last]
+					rs.transGroups[last] = nil
+					rs.transGroups = rs.transGroups[:last]
+					break
+				}
+			}
+		}
 	}
 }
 
@@ -362,7 +438,7 @@ func removeInst(s []*instance, x *instance) []*instance {
 // writeTarget returns the accumulator for a write requirement, preferring
 // in-place updates when the computing leaf owns the written rect.
 func (e *executor) writeTarget(q Req, leaf int) *accumulator {
-	key := accKey{region: q.Region.Name, leaf: leaf, rect: q.Rect.String()}
+	key := accKey{region: q.Region, leaf: leaf, rect: q.Rect.Key()}
 	if a, ok := e.accs[key]; ok {
 		return a
 	}
@@ -416,14 +492,17 @@ func (e *executor) flushAccumulators() {
 		}
 	}
 	// Group same-rect ReduceSum accumulators per region for tree merging.
-	type groupKey struct{ region, rect string }
+	type groupKey struct {
+		region *Region
+		rect   tensor.RectKey
+	}
 	groups := map[groupKey][]*accumulator{}
 	var order []groupKey
 	for _, a := range e.accSeq {
 		if a.inPlace {
 			continue
 		}
-		k := groupKey{a.region.Name, a.rect.String()}
+		k := groupKey{a.region, a.rect.Key()}
 		if _, ok := groups[k]; !ok {
 			order = append(order, k)
 		}

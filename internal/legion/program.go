@@ -21,6 +21,10 @@ type Kernel struct {
 
 // Launch is an index task launch: one task per point of Domain, each with
 // point-dependent region requirements (Legion projection functors).
+//
+// The executor reuses one point slice across the domain walk: MapPoint,
+// Reqs, the Kernel callbacks, and Ctx.Point must not retain the slice
+// beyond their call (copy it if needed), mirroring Grid.Points.
 type Launch struct {
 	Name   string
 	Domain machine.Grid
@@ -63,6 +67,8 @@ func defaultMapPoint(domain, leaves machine.Grid) func(point []int) int {
 // Ctx gives a Real-mode leaf kernel access to the data of its region
 // requirements in global coordinates.
 type Ctx struct {
+	// Point is the task's domain coordinate. The slice is reused across
+	// the launch; kernels must not retain it past their invocation.
 	Point  []int
 	reads  map[string]*Region
 	writes map[string]*accumulator

@@ -95,15 +95,21 @@ func (g Grid) Linearize(p []int) int {
 
 // Delinearize converts a flat index back into a grid coordinate.
 func (g Grid) Delinearize(idx int) []int {
+	p := make([]int, len(g.Dims))
+	g.DelinearizeInto(idx, p)
+	return p
+}
+
+// DelinearizeInto converts a flat index into a grid coordinate without
+// allocating; out must have length Rank().
+func (g Grid) DelinearizeInto(idx int, out []int) {
 	if idx < 0 || idx >= g.Size() {
 		panic(fmt.Sprintf("machine: index %d out of grid %v", idx, g.Dims))
 	}
-	p := make([]int, len(g.Dims))
 	for d := len(g.Dims) - 1; d >= 0; d-- {
-		p[d] = idx % g.Dims[d]
+		out[d] = idx % g.Dims[d]
 		idx /= g.Dims[d]
 	}
-	return p
 }
 
 // Points calls f for every coordinate of the grid in row-major order. The

@@ -1,0 +1,149 @@
+package schedule
+
+import (
+	"testing"
+
+	"distal/internal/ir"
+)
+
+func chainSchedule(t *testing.T) (*Schedule, map[string]int) {
+	t.Helper()
+	stmt := ir.MustParse("A(i,j) = B(i,k) * C(k,j)")
+	s := New(stmt).
+		Divide("i", "io", "ii", 4).
+		Split("ii", "iio", "iii", 2).
+		Divide("j", "jo", "ji", 4).
+		Divide("k", "ko", "ki", 4).
+		Reorder("io", "jo", "ko", "iio", "iii", "ji", "ki").
+		Distribute("io", "jo", "ko").
+		Rotate("ko", []string{"io", "jo"}, "kos")
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	ext, err := s.Extents(map[string]int{"i": 32, "j": 16, "k": 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ext
+}
+
+// TestEvaluatorChainReconstruction: a variable divided and then split must
+// be reconstructed through the whole derivation chain.
+func TestEvaluatorChainReconstruction(t *testing.T) {
+	s, ext := chainSchedule(t)
+	// io=1 fixes i's block [8,16); iio=3, iii free (extent 2) fixes
+	// ii in [6,8), so i = 8*1 + [6,8) = [14,16).
+	ivs := s.Intervals(map[string]int{"io": 1, "iio": 3}, ext)
+	if got := ivs["i"]; got != (Interval{Lo: 14, Hi: 16}) {
+		t.Fatalf("i interval = %+v, want [14,16)", got)
+	}
+	// Rotation with fixed offsets is exact: k block is (kos+io+jo) mod 4.
+	ivs = s.Intervals(map[string]int{"kos": 1, "io": 2, "jo": 3}, ext)
+	want := Interval{Lo: ((1 + 2 + 3) % 4) * 16, Hi: ((1+2+3)%4)*16 + 16}
+	if got := ivs["k"]; got != want {
+		t.Fatalf("k interval = %+v, want %+v", got, want)
+	}
+}
+
+// TestEvaluatorAllocationFree: the compiled evaluator must not allocate per
+// evaluation — that is its reason to exist.
+func TestEvaluatorAllocationFree(t *testing.T) {
+	s, ext := chainSchedule(t)
+	ev := s.CompileEvaluator(ext)
+	n := ev.NumVars()
+	fixed := make([]bool, n)
+	vals := make([]int, n)
+	out := make([]Interval, n)
+	for i, name := range []string{"io", "jo", "kos"} {
+		id := ev.VarID(name)
+		if id < 0 {
+			t.Fatalf("no id for %s", name)
+		}
+		fixed[id] = true
+		vals[id] = i
+	}
+	if allocs := testing.AllocsPerRun(200, func() { ev.Eval(fixed, vals, out) }); allocs != 0 {
+		t.Fatalf("Eval allocated %.1f objects per run, want 0", allocs)
+	}
+}
+
+// TestEvaluatorMatchesShim: the map-API shim and a direct evaluation must
+// agree for every original variable.
+func TestEvaluatorMatchesShim(t *testing.T) {
+	s, ext := chainSchedule(t)
+	env := map[string]int{"io": 2, "jo": 1, "kos": 3, "iio": 0}
+	ivs := s.Intervals(env, ext)
+
+	ev := s.CompileEvaluator(ext)
+	n := ev.NumVars()
+	fixed := make([]bool, n)
+	vals := make([]int, n)
+	out := make([]Interval, n)
+	for k, v := range env {
+		fixed[ev.VarID(k)] = true
+		vals[ev.VarID(k)] = v
+	}
+	ev.Eval(fixed, vals, out)
+	for _, id := range ev.OrigIDs() {
+		name := ev.VarName(int(id))
+		if out[id] != ivs[name] {
+			t.Fatalf("%s: direct %+v vs shim %+v", name, out[id], ivs[name])
+		}
+	}
+}
+
+// TestEvaluatorCache: EvaluatorFor caches per (schedule, extents) and
+// invalidates when the schedule changes.
+func TestEvaluatorCache(t *testing.T) {
+	s, ext := chainSchedule(t)
+	ev1 := s.EvaluatorFor(ext)
+	if ev2 := s.EvaluatorFor(ext); ev2 != ev1 {
+		t.Fatal("same extents should return the cached evaluator")
+	}
+	other := map[string]int{}
+	for k, v := range ext {
+		other[k] = v
+	}
+	other["j"] = 32
+	if ev3 := s.EvaluatorFor(other); ev3 == ev1 {
+		t.Fatal("different extents must recompile")
+	}
+	s.Parallelize("ki")
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if ev4 := s.EvaluatorFor(ext); ev4 == ev1 {
+		t.Fatal("applying a command must invalidate the cached evaluator")
+	}
+}
+
+// TestEvaluatorValueInto: full assignments reconstruct exact original
+// values and reject ragged points.
+func TestEvaluatorValueInto(t *testing.T) {
+	stmt := ir.MustParse("A(i) = B(i)")
+	s := New(stmt).Divide("i", "io", "ii", 4)
+	ext, err := s.Extents(map[string]int{"i": 10}) // blocks of 3: last block ragged
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := s.CompileEvaluator(ext)
+	n := ev.NumVars()
+	fixed := make([]bool, n)
+	vals := make([]int, n)
+	scratch := make([]Interval, n)
+	orig := make([]int, len(ev.OrigIDs()))
+	set := func(name string, v int) {
+		fixed[ev.VarID(name)] = true
+		vals[ev.VarID(name)] = v
+	}
+	set("io", 2)
+	set("ii", 1)
+	if !ev.ValueInto(fixed, vals, scratch, orig) || orig[0] != 7 {
+		t.Fatalf("io=2,ii=1: got %v, want i=7", orig)
+	}
+	set("io", 3)
+	set("ii", 2)
+	if ev.ValueInto(fixed, vals, scratch, orig) {
+		t.Fatal("io=3,ii=2 is i=11, outside extent 10; want ragged rejection")
+	}
+}

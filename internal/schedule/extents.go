@@ -94,82 +94,25 @@ func (iv Interval) Fixed() bool { return iv.Hi == iv.Lo+1 }
 // schedule variable not in env ranges over its full extent. Extents must
 // come from Extents. This is the bounds analysis used to derive region
 // requirement rectangles (§6.2).
+//
+// Intervals is a compatibility shim over the compiled Evaluator; hot loops
+// should hold an Evaluator and call Eval with reused scratch buffers.
 func (s *Schedule) Intervals(env map[string]int, extents map[string]int) map[string]Interval {
-	memo := map[string]Interval{}
-	var ivOf func(name string) Interval
-	ivOf = func(name string) Interval {
-		if iv, ok := memo[name]; ok {
-			return iv
+	ev := s.EvaluatorFor(extents)
+	n := ev.NumVars()
+	fixed := make([]bool, n)
+	vals := make([]int, n)
+	for name, x := range env {
+		if id := ev.VarID(name); id >= 0 {
+			fixed[id] = true
+			vals[id] = x
 		}
-		var iv Interval
-		if x, ok := env[name]; ok {
-			iv = Interval{Lo: x, Hi: x + 1}
-			memo[name] = iv
-			return iv
-		}
-		v := s.vars[name]
-		// A variable still present in the loop order and not in env spans
-		// its full extent. Variables replaced by transformations are
-		// reconstructed from their replacements.
-		if s.posOf(name) >= 0 {
-			iv = Interval{Lo: 0, Hi: extents[name]}
-			memo[name] = iv
-			return iv
-		}
-		switch {
-		case v == nil:
-			panic(fmt.Sprintf("schedule: interval of unknown variable %s", name))
-		case s.dividedOrSplit(name) != nil:
-			d := s.dividedOrSplit(name)
-			outer, inner := ivOf(d.outer), ivOf(d.inner)
-			blk := d.blockSize(extents)
-			lo := outer.Lo*blk + inner.Lo
-			hi := (outer.Hi-1)*blk + inner.Hi
-			iv = clampIv(Interval{Lo: lo, Hi: hi}, extents[name])
-		case s.rotatedBy(name) != nil:
-			r := s.rotatedBy(name)
-			rv := ivOf(r.Name)
-			allFixed := rv.Fixed()
-			sum := rv.Lo
-			for _, o := range r.RotateOffsets {
-				ov := ivOf(o)
-				if !ov.Fixed() {
-					allFixed = false
-					break
-				}
-				sum += ov.Lo
-			}
-			if allFixed {
-				x := sum % extents[name]
-				iv = Interval{Lo: x, Hi: x + 1}
-			} else {
-				iv = Interval{Lo: 0, Hi: extents[name]}
-			}
-		case s.fusedInto(name) != nil:
-			f := s.fusedInto(name)
-			fv := ivOf(f.Name)
-			bExt := extents[f.FuseB]
-			if fv.Fixed() {
-				if name == f.FuseA {
-					x := fv.Lo / bExt
-					iv = Interval{Lo: x, Hi: x + 1}
-				} else {
-					x := fv.Lo % bExt
-					iv = Interval{Lo: x, Hi: x + 1}
-				}
-			} else {
-				iv = Interval{Lo: 0, Hi: extents[name]}
-			}
-		default:
-			// Unconstrained (should not happen): full extent.
-			iv = Interval{Lo: 0, Hi: extents[name]}
-		}
-		memo[name] = iv
-		return iv
 	}
-	out := map[string]Interval{}
-	for _, v := range s.stmt.Vars() {
-		out[v.Name] = ivOf(v.Name)
+	scratch := make([]Interval, n)
+	ev.Eval(fixed, vals, scratch)
+	out := make(map[string]Interval, len(ev.OrigIDs()))
+	for _, id := range ev.OrigIDs() {
+		out[ev.VarName(int(id))] = scratch[id]
 	}
 	return out
 }
@@ -179,23 +122,55 @@ func (s *Schedule) Intervals(env map[string]int, extents map[string]int) map[str
 // if any original variable falls outside its extent (boundary clamping of
 // non-divisible blocks).
 func (s *Schedule) Value(env map[string]int, extents map[string]int) (map[string]int, bool) {
-	ivs := s.Intervals(env, extents)
-	out := map[string]int{}
-	for name, iv := range ivs {
-		if iv.Hi <= iv.Lo {
-			// Clamping produced an empty interval: the assignment lies in
-			// the ragged tail of a non-divisible block.
-			return nil, false
+	ev := s.EvaluatorFor(extents)
+	n := ev.NumVars()
+	fixed := make([]bool, n)
+	vals := make([]int, n)
+	for name, x := range env {
+		if id := ev.VarID(name); id >= 0 {
+			fixed[id] = true
+			vals[id] = x
 		}
-		if !iv.Fixed() {
-			panic(fmt.Sprintf("schedule: variable %s not fixed by full assignment", name))
-		}
-		if iv.Lo < 0 || iv.Lo >= extents[name] {
-			return nil, false
-		}
-		out[name] = iv.Lo
+	}
+	scratch := make([]Interval, n)
+	orig := make([]int, len(ev.OrigIDs()))
+	if !ev.ValueInto(fixed, vals, scratch, orig) {
+		return nil, false
+	}
+	out := make(map[string]int, len(orig))
+	for i, id := range ev.OrigIDs() {
+		out[ev.VarName(int(id))] = orig[i]
 	}
 	return out, true
+}
+
+// EvaluatorFor returns the schedule's compiled evaluator for the given
+// extents, compiling and caching it on first use. The cache is invalidated
+// when further commands are applied and when called with different extents.
+func (s *Schedule) EvaluatorFor(extents map[string]int) *Evaluator {
+	s.evalMu.Lock()
+	defer s.evalMu.Unlock()
+	if s.evalCache != nil && equalIntMaps(s.evalExtents, extents) {
+		return s.evalCache
+	}
+	s.evalCache = s.CompileEvaluator(extents)
+	s.evalExtents = make(map[string]int, len(extents))
+	for k, v := range extents {
+		s.evalExtents[k] = v
+	}
+	return s.evalCache
+}
+
+func equalIntMaps(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if w, ok := b[k]; !ok || w != v {
+			return false
+		}
+	}
+	return true
 }
 
 type divInfo struct {

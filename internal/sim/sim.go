@@ -22,6 +22,7 @@ type Sim struct {
 	leafGrid machine.Grid
 	nLeaves  int
 	nNodes   int
+	nodeOf   []int // per leaf: node index, precomputed (hot in copy pricing)
 
 	procFree []float64 // per leaf: next time the processor is idle
 	outFree  []float64 // per leaf: next time its memory out-port is idle
@@ -62,6 +63,12 @@ func New(m *machine.Machine, p Params) *Sim {
 		memPeak:  make([]int64, n),
 		oomProc:  -1,
 	}
+	s.nodeOf = make([]int, n)
+	coord := make([]int, lg.Rank())
+	for l := 0; l < n; l++ {
+		lg.DelinearizeInto(l, coord)
+		s.nodeOf[l] = m.NodeOf(coord)
+	}
 	return s
 }
 
@@ -72,9 +79,7 @@ func (s *Sim) LeafGrid() machine.Grid { return s.leafGrid }
 func (s *Sim) Leaves() int { return s.nLeaves }
 
 // NodeOf returns the node (outermost-grid flat index) of leaf l.
-func (s *Sim) NodeOf(l int) int {
-	return s.Machine.NodeOf(s.leafGrid.Delinearize(l))
-}
+func (s *Sim) NodeOf(l int) int { return s.nodeOf[l] }
 
 func (s *Sim) observe(t float64) {
 	if t > s.makespan {
@@ -158,13 +163,14 @@ func (s *Sim) CopyEstimate(src, dst int, bytes int64, ready float64, srcGPUMem b
 func (s *Sim) Copy(src, dst int, bytes int64, ready float64, srcGPUMem bool, replicas int) float64 {
 	start, end := s.copyTimes(src, dst, bytes, ready, srcGPUMem, replicas)
 	occEnd := start + s.occupancy(src, dst, bytes, srcGPUMem)
-	if s.NodeOf(src) == s.NodeOf(dst) {
+	sn, dn := s.nodeOf[src], s.nodeOf[dst]
+	if sn == dn {
 		s.outFree[src] = occEnd
 		s.inFree[dst] = occEnd
 		s.IntraBytes += bytes
 	} else {
-		s.nicOut[s.NodeOf(src)] = occEnd
-		s.nicIn[s.NodeOf(dst)] = occEnd
+		s.nicOut[sn] = occEnd
+		s.nicIn[dn] = occEnd
 		s.outFree[src] = occEnd
 		s.inFree[dst] = occEnd
 		s.InterBytes += bytes
@@ -175,7 +181,7 @@ func (s *Sim) Copy(src, dst int, bytes int64, ready float64, srcGPUMem bool, rep
 }
 
 func (s *Sim) occupancy(src, dst int, bytes int64, srcGPUMem bool) float64 {
-	if s.NodeOf(src) == s.NodeOf(dst) {
+	if s.nodeOf[src] == s.nodeOf[dst] {
 		return float64(bytes) / s.Params.IntraBW
 	}
 	bw := s.Params.InterBW
@@ -188,7 +194,7 @@ func (s *Sim) occupancy(src, dst int, bytes int64, srcGPUMem bool) float64 {
 func (s *Sim) copyTimes(src, dst int, bytes int64, ready float64, srcGPUMem bool, replicas int) (start, end float64) {
 	start = ready
 	var lat float64
-	if s.NodeOf(src) == s.NodeOf(dst) {
+	if sn, dn := s.nodeOf[src], s.nodeOf[dst]; sn == dn {
 		lat = s.Params.IntraLatency
 		if s.outFree[src] > start {
 			start = s.outFree[src]
@@ -198,10 +204,17 @@ func (s *Sim) copyTimes(src, dst int, bytes int64, ready float64, srcGPUMem bool
 		}
 	} else {
 		lat = s.Params.InterLatency
-		for _, t := range []float64{s.nicOut[s.NodeOf(src)], s.nicIn[s.NodeOf(dst)], s.outFree[src], s.inFree[dst]} {
-			if t > start {
-				start = t
-			}
+		if s.nicOut[sn] > start {
+			start = s.nicOut[sn]
+		}
+		if s.nicIn[dn] > start {
+			start = s.nicIn[dn]
+		}
+		if s.outFree[src] > start {
+			start = s.outFree[src]
+		}
+		if s.inFree[dst] > start {
+			start = s.inFree[dst]
 		}
 	}
 	overhead := s.Params.ReplicaOverhead * float64(replicas)

@@ -4,6 +4,7 @@
 package tensor
 
 import (
+	"encoding/binary"
 	"fmt"
 	"strings"
 )
@@ -159,6 +160,36 @@ func (r Rect) Points(f func(p []int)) {
 			return
 		}
 	}
+}
+
+// RectKey is a cheap comparable identity for a Rect: two rects of equal
+// rank and identical bounds have equal keys. It replaces Rect.String() as a
+// map key on hot paths — building one allocates nothing for rects of rank
+// up to four (the common case), and comparing is integer comparison rather
+// than string formatting.
+type RectKey struct {
+	rank   int32
+	lo, hi [4]int64
+	ext    string // packed bounds of rects with rank > 4
+}
+
+// Key returns the rect's comparable identity.
+func (r Rect) Key() RectKey {
+	k := RectKey{rank: int32(len(r.Lo))}
+	if len(r.Lo) <= 4 {
+		for d := range r.Lo {
+			k.lo[d] = int64(r.Lo[d])
+			k.hi[d] = int64(r.Hi[d])
+		}
+		return k
+	}
+	buf := make([]byte, 0, 16*len(r.Lo))
+	for d := range r.Lo {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Lo[d]))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Hi[d]))
+	}
+	k.ext = string(buf)
+	return k
 }
 
 // String renders the rect as, e.g., "[0,4)x[2,6)".

@@ -92,7 +92,12 @@ func TestPlanCacheSpeedup(t *testing.T) {
 	}
 	ratio := float64(cold) / float64(warm)
 	t.Logf("cold=%v warm=%v ratio=%.1fx", cold, warm, ratio)
-	if ratio < 10 {
-		t.Fatalf("cache-hit Execute only %.1fx faster than cold (%v vs %v), want >= 10x", ratio, warm, cold)
+	// The bound was 10x when compilation did its bounds analysis through
+	// string-keyed maps; the compiled evaluator and parallel launch
+	// materialization made cold compiles ~4x faster, so the cache's edge
+	// over a cold Execute is structurally smaller now. 3x still pins the
+	// property that a cache hit skips a compile worth of work.
+	if ratio < 3 {
+		t.Fatalf("cache-hit Execute only %.1fx faster than cold (%v vs %v), want >= 3x", ratio, warm, cold)
 	}
 }
