@@ -29,7 +29,10 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment: all, fig15a, fig15b, fig16, fig9, summary, plancache, metrics")
 	nodes := flag.Int("nodes", 256, "maximum node count (power of two)")
-	jsonPath := flag.String("json", "", "write the metrics experiment (GFLOP/s, makespan, copies, bytes) to this file as JSON")
+	jsonPath := flag.String("json", "", "write the metrics experiment (GFLOP/s, makespan, copies, bytes) and hot-path timings to this file as JSON")
+	diffPath := flag.String("diff", "", "compare the metrics sweep against this baseline JSON (e.g. BENCH_PR2.json) and exit non-zero on regression")
+	tol := flag.Float64("tol", 0.20, "regression tolerance for -diff on simulated makespans, as a fraction (0.20 = 20%)")
+	wallTol := flag.Float64("walltol", 1.0, "regression tolerance for -diff on total compile/simulate wall time; generous by default because baselines may be recorded on different hardware")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -38,37 +41,80 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if (*jsonPath != "" || *diffPath != "") && *exp == "all" {
+		// -json/-diff runs default to the metrics sweep only; the full
+		// figure regeneration is not needed to record or gate a trajectory
+		// point.
+		*exp = "metrics"
+	}
 	if *exp != "metrics" {
 		fail(run(*exp, *nodes))
 	}
 	// The metrics sweep is shared: computed once whether it is printed
-	// (-exp metrics), written (-json), or both.
-	if *exp == "metrics" || *jsonPath != "" {
+	// (-exp metrics), written (-json), diffed (-diff), or all three.
+	if *exp == "metrics" || *jsonPath != "" || *diffPath != "" {
 		rows, err := experiments.Metrics(*nodes)
 		fail(err)
 		if *exp == "metrics" {
 			fmt.Println(experiments.RenderMetrics(rows))
 		}
 		if *jsonPath != "" {
-			fail(writeJSON(*jsonPath, *nodes, rows))
+			hot, err := experiments.Hotpath(3)
+			fail(err)
+			fail(writeJSON(*jsonPath, *nodes, rows, hot))
+		}
+		if *diffPath != "" {
+			fail(diffAgainst(*diffPath, *nodes, rows, *tol, *wallTol))
 		}
 	}
 }
 
 // benchReport is the schema of -json output: one file per benchmark run,
-// appended to the repo's BENCH_*.json trajectory by CI or by hand.
+// appended to the repo's BENCH_*.json trajectory by CI or by hand. Hotpath
+// rows record host-side compile/kernel timings (absent in trajectory points
+// recorded before they existed).
 type benchReport struct {
-	Schema string                  `json:"schema"`
-	Nodes  int                     `json:"nodes"`
-	Rows   []experiments.MetricRow `json:"rows"`
+	Schema  string                   `json:"schema"`
+	Nodes   int                      `json:"nodes"`
+	Rows    []experiments.MetricRow  `json:"rows"`
+	Hotpath []experiments.HotpathRow `json:"hotpath,omitempty"`
 }
 
-func writeJSON(path string, nodes int, rows []experiments.MetricRow) error {
-	data, err := json.MarshalIndent(benchReport{Schema: "distal-bench/v1", Nodes: nodes, Rows: rows}, "", "  ")
+func writeJSON(path string, nodes int, rows []experiments.MetricRow, hot []experiments.HotpathRow) error {
+	data, err := json.MarshalIndent(benchReport{Schema: "distal-bench/v1", Nodes: nodes, Rows: rows, Hotpath: hot}, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// diffAgainst compares the fresh metrics rows with a recorded baseline and
+// fails on regression: per-row simulated makespan beyond tol (these are
+// deterministic) and total compile/simulate wall time beyond wallTol. The
+// baseline must have been recorded at the same -nodes count — rows match by
+// (experiment, config), so comparing different weak-scaled problem sizes
+// would produce spurious regressions or silent green passes.
+func diffAgainst(path string, nodes int, rows []experiments.MetricRow, tol, wallTol float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var baseline benchReport
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	if baseline.Nodes != nodes {
+		return fmt.Errorf("baseline %s was recorded at -nodes %d, this run uses -nodes %d: re-record the baseline or match the node count", path, baseline.Nodes, nodes)
+	}
+	regressions := experiments.DiffMetrics(baseline.Rows, rows, tol, wallTol)
+	if len(regressions) == 0 {
+		fmt.Printf("bench diff vs %s: ok (%d rows within %.0f%%)\n", path, len(rows), tol*100)
+		return nil
+	}
+	for _, r := range regressions {
+		fmt.Fprintln(os.Stderr, "REGRESSION:", r)
+	}
+	return fmt.Errorf("%d regression(s) vs %s", len(regressions), path)
 }
 
 func run(exp string, nodes int) error {

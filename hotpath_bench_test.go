@@ -65,19 +65,50 @@ func BenchmarkCompile(b *testing.B) {
 	}
 }
 
+// realSumma is a validated-execution workload: chunked SUMMA on a 4x4 grid
+// with real data bound, small enough that the leaf kernels (not the
+// simulator) dominate. The tree variant runs the fallback tree-walking
+// kernel instead of the compiled kernel program.
+func realSumma(b *testing.B, tree bool) core.Input {
+	b.Helper()
+	in, err := algorithms.Matmul(algorithms.SUMMA, algorithms.MatmulConfig{
+		N: 128, Procs: 16, ChunkSize: 32, Seed: 5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in.TreeKernel = tree
+	return in
+}
+
 // BenchmarkColdExecute measures what a plan-cache miss costs end to end:
-// compile plus one simulated execution.
+// compile plus one execution. The sim case is the serving path (simulated
+// cost model only); the real cases execute leaf kernels on actual data —
+// "real" through the compiled kernel program, "realTree" through the
+// tree-walking fallback it replaced.
 func BenchmarkColdExecute(b *testing.B) {
-	in := johnson8(b)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		prog, err := core.Compile(in)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if _, err := legion.Run(prog, legion.Options{Params: sim.LassenGPU()}); err != nil {
-			b.Fatal(err)
-		}
+	cases := []struct {
+		name string
+		in   core.Input
+		opt  legion.Options
+	}{
+		{"sim", johnson8(b), legion.Options{Params: sim.LassenGPU()}},
+		{"real", realSumma(b, false), legion.Options{Params: sim.LassenCPU(), Real: true}},
+		{"realTree", realSumma(b, true), legion.Options{Params: sim.LassenCPU(), Real: true}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				prog, err := core.Compile(c.in)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := legion.Run(prog, c.opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

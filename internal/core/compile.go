@@ -15,7 +15,21 @@
 //     internal/schedule (interval arithmetic over derived index variables,
 //     exact under rotation when the offsets are fixed);
 //  5. leaf loops become the task body: an analytic FLOP/byte model for
-//     simulation and a real einsum kernel for validated execution.
+//     simulation and a real einsum kernel for validated execution, lowered
+//     once per plan to a flat register program over raw tensor storage
+//     (kernelprog.go) with a tree-walking fallback (Input.TreeKernel).
+//
+// Compiled programs are immutable: every launch's per-point region
+// requirements are materialized eagerly at compile time into a shared slab,
+// so a plan can be cached (keyed by PlanKey, a content hash over statement,
+// shapes, formats, schedule text, and machine) and simulated concurrently
+// by many goroutines, and repeated executions skip the bounds analysis
+// entirely. Materialization is deterministic under every parallelization
+// strategy: multi-launch plans are built launch-parallel over a bounded
+// worker pool whose scratch (including the rect intern table and the
+// requirements of tensors anchored at the task level) persists across
+// launches, while single-launch plans split their domain across
+// point-chunked workers merged in chunk order.
 package core
 
 import (
@@ -25,6 +39,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"distal/internal/distnot"
 	"distal/internal/ir"
@@ -49,6 +64,11 @@ type Input struct {
 	Machine  *machine.Machine
 	Tensors  map[string]*TensorDecl
 	Schedule *schedule.Schedule
+	// TreeKernel selects the tree-walking Real-mode leaf kernel instead of
+	// the compiled kernel program. The two are bit-identical (asserted by
+	// the golden tests); the tree walk exists as a debuggable fallback and
+	// as the reference the compiled program is validated against.
+	TreeKernel bool
 }
 
 // Compile lowers the scheduled statement to a Legion program.
@@ -112,9 +132,10 @@ type compiler struct {
 	seqVars []string // sequential control loops (between dist prefix and leaves)
 	leaf    []string // leaf loop variables
 
-	// Point-independent launch state, hoisted out of the per-point loop:
+	// Point-independent plan state, hoisted out of the per-point loop:
 	// the compiled bounds evaluator, environment variable ids, per-tensor
-	// access plans, and the distinct anchor-cut groups.
+	// access plans, the distinct anchor-cut groups, and the compiled
+	// Real-mode kernel program (shared by every launch).
 	ev            *schedule.Evaluator
 	distIDs       []int
 	seqIDs        []int // ids of seqVars, in order
@@ -122,6 +143,13 @@ type compiler struct {
 	cuts          []cutGroup
 	flopsPerPoint float64
 	writePriv     legion.Privilege
+	kprog         *kernelProg
+
+	// distOnly marks tensors whose anchor cut fixes only the distributed
+	// variables: their requirement rects are identical across the launches
+	// of a sequential pipeline and are cached by the materializer.
+	distOnly    []bool
+	anyDistOnly bool
 }
 
 // tensorPlan is the per-tensor slice of the launch plan: which requirement
@@ -135,6 +163,67 @@ type tensorPlan struct {
 	// scalar access covering the full region.
 	accesses [][]int
 	cutIdx   int // index into cuts: the anchor environment of this tensor
+}
+
+// deriveBounds writes tp's requirement bounds at one point into lo/hi: the
+// union over the tensor's accesses of the access variables' intervals,
+// clamped to the tensor's shape. A scalar access (or a tensor with no
+// accesses) covers the full region. Shared by every materialization
+// strategy so the two cannot drift.
+func (tp *tensorPlan) deriveBounds(ivs []schedule.Interval, lo, hi []int) {
+	first := true
+	fullRect := len(tp.accesses) == 0
+	for _, dims := range tp.accesses {
+		if dims == nil {
+			fullRect = true // scalar access: full region
+			break
+		}
+		if first {
+			for d, id := range dims {
+				lo[d], hi[d] = ivs[id].Lo, ivs[id].Hi
+			}
+			first = false
+			continue
+		}
+		for d, id := range dims {
+			if ivs[id].Lo < lo[d] {
+				lo[d] = ivs[id].Lo
+			}
+			if ivs[id].Hi > hi[d] {
+				hi[d] = ivs[id].Hi
+			}
+		}
+	}
+	if fullRect {
+		for d, s := range tp.shape {
+			lo[d], hi[d] = 0, s
+		}
+		return
+	}
+	for d, s := range tp.shape {
+		if lo[d] < 0 {
+			lo[d] = 0
+		}
+		if hi[d] > s {
+			hi[d] = s
+		}
+	}
+}
+
+// pointFlops computes the cost-model flops of one point from the full
+// environment's intervals: the iteration-space volume times the statement's
+// per-point flops (zero when any original variable's interval is empty —
+// the point lies entirely on a ragged tail).
+func (c *compiler) pointFlops(fullIvs []schedule.Interval) float64 {
+	points := 1.0
+	for _, id := range c.ev.OrigIDs() {
+		w := fullIvs[id].Hi - fullIvs[id].Lo
+		if w <= 0 {
+			return 0
+		}
+		points *= float64(w)
+	}
+	return points * c.flopsPerPoint
 }
 
 // cutGroup is one distinct communicate-anchor cut: a prefix of the loop
@@ -201,18 +290,19 @@ func (c *compiler) lower() (*legion.Program, error) {
 	for i, v := range c.seqVars {
 		seqDims[i] = c.extents[v]
 	}
-	seqSpace := tensor.FullRect(seqDims)
+	var seqs []map[string]int
 	if len(seqDims) == 0 {
-		prog.Launches = append(prog.Launches, c.buildLaunch(domain, nil))
+		seqs = []map[string]int{nil}
 	} else {
-		seqSpace.Points(func(p []int) {
+		tensor.FullRect(seqDims).Points(func(p []int) {
 			seq := map[string]int{}
 			for i, v := range c.seqVars {
 				seq[v] = p[i]
 			}
-			prog.Launches = append(prog.Launches, c.buildLaunch(domain, seq))
+			seqs = append(seqs, seq)
 		})
 	}
+	prog.Launches = c.materializeLaunches(domain, seqs)
 	return prog, nil
 }
 
@@ -321,6 +411,17 @@ func (c *compiler) buildPlan(splitDepth int) {
 		}
 		c.tensors = append(c.tensors, tp)
 	}
+	c.distOnly = make([]bool, len(c.tensors))
+	for ti := range c.tensors {
+		if c.cuts[c.tensors[ti].cutIdx].cut == nd {
+			c.distOnly[ti] = true
+			c.anyDistOnly = true
+		}
+	}
+
+	if !c.in.TreeKernel {
+		c.kprog = compileKernelProg(stmt, c.ev, c.writePriv == legion.ReduceSum)
+	}
 }
 
 // launchName renders "kernel[ko=2,…]" for diagnostics and traces.
@@ -391,18 +492,261 @@ func materializeWorkers(n int) int {
 	return w
 }
 
-// buildLaunch lowers one index launch. The bounds analysis of every domain
-// point is materialized eagerly into the launch, for two reasons: the
-// resulting program is immutable — safe for concurrent simulation, a
-// prerequisite of plan caching — and repeated executions of a cached plan
-// skip the analysis entirely (it is the dominant cost of a cold
-// compile+execute).
+// materializeLaunches materializes every launch of the plan. Launches are
+// independent, so multi-launch plans (chunked SUMMA-style pipelines) are
+// materialized launch-parallel over a bounded pool in which each worker owns
+// one materializer whose scratch — evaluation buffers, the rect intern
+// table, the dedup table — persists across the launches it processes:
+// worker setup is paid per pool slot, not per launch. Each launch is built
+// entirely by one worker, so its requirement slab needs no cross-worker
+// merge and the result is deterministic regardless of pool size or
+// scheduling. Single-launch plans keep the point-chunked pool (the launch
+// itself is the only unit of independence left).
+func (c *compiler) materializeLaunches(domain machine.Grid, seqs []map[string]int) []*legion.Launch {
+	launches := make([]*legion.Launch, len(seqs))
+	if len(seqs) == 1 && materializeWorkers(domain.Size()) > 1 {
+		launches[0] = c.buildLaunchChunked(domain, seqs[0])
+		return launches
+	}
+	nw := runtime.GOMAXPROCS(0)
+	if nw > maxMaterializeWorkers {
+		nw = maxMaterializeWorkers
+	}
+	if nw > len(seqs) {
+		nw = len(seqs)
+	}
+	if nw <= 1 {
+		m := c.newMaterializer(domain.Rank(), len(seqs) > 1)
+		for i, seq := range seqs {
+			launches[i] = m.buildLaunch(c, domain, seq)
+		}
+		return launches
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := c.newMaterializer(domain.Rank(), true)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(seqs) {
+					return
+				}
+				launches[i] = m.buildLaunch(c, domain, seqs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return launches
+}
+
+// rectEntry is one interned requirement rect: the canonical Rect value, a
+// dense id used in point signatures, and its payload size.
+type rectEntry struct {
+	rect  tensor.Rect
+	id    int32
+	bytes int64
+}
+
+// materializer owns the scratch one worker uses to materialize whole
+// launches serially. The rect intern table persists across launches (rects
+// repeat across the launches of a pipeline — e.g. the output tensor's
+// requirement does not depend on the sequential loop at all); the dedup
+// table is cleared per launch. Nothing here is shared between workers.
+type materializer struct {
+	point          []int
+	fixed          []bool
+	vals           []int
+	ivs            [][]schedule.Interval
+	rectLo, rectHi [][]int
+	keyBuf         []byte
+	sigBuf         []byte
+	ents           []*rectEntry
+
+	rects map[string]*rectEntry // packed bounds -> interned rect, plan scope
+	seen  map[string]int32      // point signature -> info index, launch scope
+
+	// distCache memoizes, per domain point, the interned rects of tensors
+	// whose anchor cut fixes only distributed variables: their requirement
+	// is independent of the launch's sequential assignment, so later
+	// launches reuse the first launch's analysis (and skip evaluating the
+	// dist-only cut group altogether). Only populated for multi-launch
+	// plans (cacheDist): a single launch would pay for a cache it never
+	// reads back.
+	cacheDist bool
+	distCache [][]*rectEntry
+}
+
+func (c *compiler) newMaterializer(rank int, multiLaunch bool) *materializer {
+	nv := c.ev.NumVars()
+	m := &materializer{
+		cacheDist: multiLaunch && c.anyDistOnly,
+		point:     make([]int, rank),
+		fixed:     make([]bool, nv),
+		vals:      make([]int, nv),
+		ivs:       make([][]schedule.Interval, len(c.cuts)),
+		ents:      make([]*rectEntry, len(c.tensors)),
+		rects:     map[string]*rectEntry{},
+		seen:      map[string]int32{},
+	}
+	for i := range m.ivs {
+		m.ivs[i] = make([]schedule.Interval, nv)
+	}
+	for _, tp := range c.tensors {
+		r := len(tp.shape)
+		m.rectLo = append(m.rectLo, make([]int, r))
+		m.rectHi = append(m.rectHi, make([]int, r))
+	}
+	return m
+}
+
+// buildLaunch materializes one launch start to finish: for each domain point
+// it evaluates every distinct anchor cut, derives and interns the per-tensor
+// requirement rects, and appends each distinct point description directly to
+// the launch's shared requirement slab. Point signatures are tuples of
+// interned rect ids (plus the cost-model flops), so the dedup key is a few
+// words rather than the packed bounds of every tensor.
+func (m *materializer) buildLaunch(c *compiler, domain machine.Grid, seq map[string]int) *legion.Launch {
+	ev := c.ev
+	full := len(c.cuts) - 1
+	n := domain.Size()
+	nt := len(c.tensors)
+	for i, v := range c.seqVars {
+		m.vals[c.seqIDs[i]] = seq[v]
+	}
+	idx := make([]int32, n)
+	slab := make([]legion.Req, 0, n*nt)
+	infos := make([]pointInfo, 0, n)
+	clear(m.seen)
+	// The dist-only cut group (if any) is the first one, and its intervals
+	// are consumed only by dist-only tensors: once every point's entry is
+	// cached, its evaluation can be skipped.
+	distGroup := len(c.cuts) > 0 && c.cuts[0].cut == len(c.dist) && full > 0
+	if m.distCache == nil && m.cacheDist {
+		m.distCache = make([][]*rectEntry, n)
+	}
+
+	for i := 0; i < n; i++ {
+		domain.DelinearizeInto(i, m.point)
+		for d, id := range c.distIDs {
+			m.vals[id] = m.point[d]
+		}
+		var cached []*rectEntry
+		if m.distCache != nil {
+			cached = m.distCache[i]
+		}
+		// Evaluate cut groups in ascending order: each fixes the variables
+		// it adds over the previous group.
+		for g := range c.cuts {
+			for _, id := range c.cuts[g].addIDs {
+				m.fixed[id] = true
+			}
+			if g == 0 && distGroup && cached != nil {
+				continue // every consumer of this group is cached
+			}
+			ev.Eval(m.fixed, m.vals, m.ivs[g])
+		}
+		for g := range c.cuts {
+			for _, id := range c.cuts[g].addIDs {
+				m.fixed[id] = false
+			}
+		}
+
+		// Requirement bounds per tensor: union over the tensor's accesses,
+		// clamped to its shape, then interned by packed bounds.
+		m.sigBuf = m.sigBuf[:0]
+		for ti := range c.tensors {
+			tp := &c.tensors[ti]
+			if cached != nil && cached[ti] != nil {
+				e := cached[ti]
+				m.ents[ti] = e
+				m.sigBuf = binary.LittleEndian.AppendUint32(m.sigBuf, uint32(e.id))
+				continue
+			}
+			lo, hi := m.rectLo[ti], m.rectHi[ti]
+			tp.deriveBounds(m.ivs[tp.cutIdx], lo, hi)
+			m.keyBuf = m.keyBuf[:0]
+			m.keyBuf = binary.LittleEndian.AppendUint64(m.keyBuf, uint64(ti))
+			for d := range lo {
+				m.keyBuf = binary.LittleEndian.AppendUint64(m.keyBuf, uint64(lo[d]))
+				m.keyBuf = binary.LittleEndian.AppendUint64(m.keyBuf, uint64(hi[d]))
+			}
+			e, ok := m.rects[string(m.keyBuf)]
+			if !ok {
+				r := tensor.NewRect(lo, hi)
+				e = &rectEntry{rect: r, id: int32(len(m.rects)), bytes: c.tensors[ti].region.Bytes(r)}
+				m.rects[string(m.keyBuf)] = e
+			}
+			m.ents[ti] = e
+			m.sigBuf = binary.LittleEndian.AppendUint32(m.sigBuf, uint32(e.id))
+		}
+
+		if m.distCache != nil && cached == nil {
+			ent := make([]*rectEntry, nt)
+			for ti := range c.tensors {
+				if c.distOnly[ti] {
+					ent[ti] = m.ents[ti]
+				}
+			}
+			m.distCache[i] = ent
+		}
+
+		// Cost-model inputs from the full environment.
+		flops := c.pointFlops(m.ivs[full])
+		m.sigBuf = binary.LittleEndian.AppendUint64(m.sigBuf, math.Float64bits(flops))
+
+		li, ok := m.seen[string(m.sigBuf)]
+		if !ok {
+			off := len(slab)
+			memBytes := 0.0
+			for ti, e := range m.ents {
+				slab = append(slab, legion.Req{
+					Region: c.tensors[ti].region,
+					Rect:   e.rect,
+					Priv:   c.tensors[ti].priv,
+				})
+				memBytes += float64(e.bytes)
+			}
+			li = int32(len(infos))
+			infos = append(infos, pointInfo{off: off, flops: flops, memBytes: memBytes})
+			m.seen[string(m.sigBuf)] = li
+		}
+		idx[i] = li
+	}
+
+	info := func(point []int) *pointInfo { return &infos[idx[domain.Linearize(point)]] }
+	return &legion.Launch{
+		Name:   launchName(c.in.Stmt, c.seqVars, seq),
+		Domain: domain,
+		Reqs: func(point []int) []legion.Req {
+			pi := info(point)
+			return slab[pi.off : pi.off+nt : pi.off+nt]
+		},
+		Kernel: legion.Kernel{
+			Flops:    func(point []int) float64 { return info(point).flops },
+			MemBytes: func(point []int) float64 { return info(point).memBytes },
+			Run:      c.realKernel(seq),
+		},
+	}
+}
+
+// buildLaunchChunked lowers one index launch by splitting its domain across
+// a point-chunked worker pool; it is the materialization strategy for
+// single-launch plans, whose only independence is between points. The
+// bounds analysis of every domain point is materialized eagerly into the
+// launch, for two reasons: the resulting program is immutable — safe for
+// concurrent simulation, a prerequisite of plan caching — and repeated
+// executions of a cached plan skip the analysis entirely (it is the
+// dominant cost of a cold compile+execute).
 //
 // Materialization runs the compiled evaluator once per (point, anchor cut)
-// over a bounded worker pool; identical points (common under replication)
-// are interned so the launch stores each distinct requirement set once, in
-// one shared slab.
-func (c *compiler) buildLaunch(domain machine.Grid, seq map[string]int) *legion.Launch {
+// over the pool; identical points (common under replication) are interned so
+// the launch stores each distinct requirement set once, in one shared slab.
+// Workers are merged in chunk order, so the slab ordering is identical to
+// the serial path's first-appearance order.
+func (c *compiler) buildLaunchChunked(domain machine.Grid, seq map[string]int) *legion.Launch {
 	n := domain.Size()
 	nt := len(c.tensors)
 	seqVals := make([]int, len(c.seqIDs))
@@ -518,7 +862,6 @@ func (c *compiler) newPointWorker(start, end, rank int, seqVals []int) *pointWor
 // resulting description.
 func (c *compiler) materializeChunk(pw *pointWorker, domain machine.Grid, idx []int32) {
 	ev := c.ev
-	origIDs := ev.OrigIDs()
 	full := len(c.cuts) - 1
 	for i := pw.start; i < pw.end; i++ {
 		domain.DelinearizeInto(i, pw.point)
@@ -543,46 +886,8 @@ func (c *compiler) materializeChunk(pw *pointWorker, domain machine.Grid, idx []
 		// clamped to its shape.
 		pw.keyBuf = pw.keyBuf[:0]
 		for ti := range c.tensors {
-			tp := &c.tensors[ti]
 			lo, hi := pw.rectLo[ti], pw.rectHi[ti]
-			ivs := pw.ivs[tp.cutIdx]
-			first := true
-			fullRect := len(tp.accesses) == 0
-			for _, dims := range tp.accesses {
-				if dims == nil {
-					fullRect = true // scalar access: full region
-					break
-				}
-				if first {
-					for d, id := range dims {
-						lo[d], hi[d] = ivs[id].Lo, ivs[id].Hi
-					}
-					first = false
-					continue
-				}
-				for d, id := range dims {
-					if ivs[id].Lo < lo[d] {
-						lo[d] = ivs[id].Lo
-					}
-					if ivs[id].Hi > hi[d] {
-						hi[d] = ivs[id].Hi
-					}
-				}
-			}
-			if fullRect {
-				for d, s := range tp.shape {
-					lo[d], hi[d] = 0, s
-				}
-			} else {
-				for d, s := range tp.shape {
-					if lo[d] < 0 {
-						lo[d] = 0
-					}
-					if hi[d] > s {
-						hi[d] = s
-					}
-				}
-			}
+			c.tensors[ti].deriveBounds(pw.ivs[c.tensors[ti].cutIdx], lo, hi)
 			for d := range lo {
 				pw.keyBuf = binary.LittleEndian.AppendUint64(pw.keyBuf, uint64(lo[d]))
 				pw.keyBuf = binary.LittleEndian.AppendUint64(pw.keyBuf, uint64(hi[d]))
@@ -590,17 +895,7 @@ func (c *compiler) materializeChunk(pw *pointWorker, domain machine.Grid, idx []
 		}
 
 		// Cost-model inputs from the full environment.
-		points := 1.0
-		fullIvs := pw.ivs[full]
-		for _, id := range origIDs {
-			w := fullIvs[id].Hi - fullIvs[id].Lo
-			if w <= 0 {
-				points = 0
-				break
-			}
-			points *= float64(w)
-		}
-		flops := points * c.flopsPerPoint
+		flops := c.pointFlops(pw.ivs[full])
 		pw.keyBuf = binary.LittleEndian.AppendUint64(pw.keyBuf, math.Float64bits(flops))
 
 		li, ok := pw.seen[string(pw.keyBuf)]

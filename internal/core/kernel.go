@@ -8,9 +8,94 @@ import (
 	"distal/internal/schedule"
 )
 
+// realKernel builds the Real-mode leaf body for one launch: a fused einsum
+// loop nest over the leaf variables that reconstructs original index values
+// from the schedule's derivations, skips out-of-extent points (ragged
+// blocks), and combines into the LHS through the task's write requirement.
+//
+// The default body executes the plan's compiled kernelProg (kernelprog.go):
+// raw storage surfaces are resolved once per task and every leaf point costs
+// one integer ValueProgram pass plus one register-program pass — no
+// interface dispatch, no map lookups, no per-point allocation. The
+// tree-walking kernel below remains as a fallback (Input.TreeKernel) and as
+// the reference the compiled program is asserted bit-identical against.
+// Per-invocation scratch keeps tasks of a shared cached plan safe to run
+// concurrently.
+func (c *compiler) realKernel(seq map[string]int) func(ctx *legion.Ctx) {
+	if c.in.TreeKernel {
+		return c.treeKernel(seq)
+	}
+	kp := c.kprog
+	ev := c.ev
+	nv := ev.NumVars()
+	nOrig := len(ev.OrigIDs())
+
+	type binding struct{ id, val int }
+	var seqBind []binding
+	for _, v := range c.seqVars {
+		seqBind = append(seqBind, binding{ev.VarID(v), seq[v]})
+	}
+	distIDs := c.distIDs
+	leafIDs := make([]int, len(c.leaf))
+	leafExt := make([]int, len(c.leaf))
+	for i, name := range c.leaf {
+		leafIDs[i] = ev.VarID(name)
+		leafExt[i] = c.extents[name]
+	}
+
+	return func(ctx *legion.Ctx) {
+		vals := make([]int, nv)
+		origVals := make([]int, nOrig)
+		regs := make([]float64, len(kp.ops))
+		for i, id := range distIDs {
+			vals[id] = ctx.Point[i]
+		}
+		for _, b := range seqBind {
+			vals[b.id] = b.val
+		}
+		loads := make([]boundAccess, len(kp.accesses))
+		for i := range kp.accesses {
+			loads[i] = kp.accesses[i].bindRead(ctx)
+		}
+		store := kp.store.bindWrite(ctx)
+
+		// Odometer over the leaf variables (innermost last, matching the
+		// tree kernel's row-major walk).
+		for _, ext := range leafExt {
+			if ext <= 0 {
+				return
+			}
+		}
+		idx := make([]int, len(leafIDs))
+		for _, id := range leafIDs {
+			vals[id] = 0
+		}
+		for {
+			if kp.vp.Run(vals, origVals) {
+				kp.run(loads, &store, regs, origVals)
+			}
+			d := len(idx) - 1
+			for d >= 0 {
+				idx[d]++
+				if idx[d] < leafExt[d] {
+					vals[leafIDs[d]] = idx[d]
+					break
+				}
+				idx[d] = 0
+				vals[leafIDs[d]] = 0
+				d--
+			}
+			if d < 0 {
+				return
+			}
+		}
+	}
+}
+
 // compiledExpr is the statement's RHS lowered to a pointer tree whose
 // accesses carry a dense index — the leaf loop evaluates it without any map
-// lookups (the same design as the compiled bounds evaluator).
+// lookups. Superseded by kernelProg's flat register program on the default
+// path; kept as the fallback and reference implementation.
 type compiledExpr struct {
 	op     exprOp
 	tensor string  // exAccess
@@ -28,13 +113,11 @@ const (
 	exMul
 )
 
-// realKernel builds the Real-mode leaf body: a generic fused einsum loop
-// nest over the leaf variables that reconstructs original index values from
-// the schedule's derivations via the compiled evaluator, skips
-// out-of-extent points (ragged blocks), and accumulates into the LHS
-// through the task's write requirement. Per-invocation scratch keeps tasks
-// of a shared cached plan safe to run concurrently.
-func (c *compiler) realKernel(seq map[string]int) func(ctx *legion.Ctx) {
+// treeKernel is the tree-walking Real-mode leaf body: it evaluates the RHS
+// by recursive descent over compiledExpr and reads through Ctx's
+// coordinate-checked accessors. It computes exactly what the compiled
+// kernelProg computes, in the same floating-point operation order.
+func (c *compiler) treeKernel(seq map[string]int) func(ctx *legion.Ctx) {
 	stmt := c.in.Stmt
 	lhs := stmt.LHS
 	reduces := len(stmt.ReductionVars()) > 0 || stmt.Increment

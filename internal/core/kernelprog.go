@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+
+	"distal/internal/ir"
+	"distal/internal/legion"
+	"distal/internal/schedule"
+)
+
+// This file lowers the statement's RHS expression tree into a kernelProg: a
+// flat, topologically-ordered register program over []float64 slices, the
+// Real-mode analogue of the compiled bounds evaluator (§5.1's leaf loop
+// nest, executed rather than priced). The lowering runs once per plan; leaf
+// tasks then execute every in-bounds point of their iteration space with no
+// interface dispatch, no map lookups, and no per-point allocation:
+//
+//   - index reconstruction is a schedule.ValueProgram (integer ops only);
+//   - every tensor access is an offset computation against the raw storage
+//     surface of the task's region requirement (Ctx.ReadSurface /
+//     Ctx.WriteSurface), resolved once per task;
+//   - the expression itself is a register program whose op order matches a
+//     postorder walk of the tree, so results are bit-identical to the
+//     tree-walking fallback kernel (asserted by TestKernelProgGolden).
+
+type kOpKind uint8
+
+const (
+	// kLoad reads accesses[acc] at the current point.
+	kLoad kOpKind = iota
+	// kLit produces a floating-point constant.
+	kLit
+	// kAdd/kMul combine two earlier registers.
+	kAdd
+	kMul
+)
+
+// kOp is one instruction; its destination register is its index in the
+// program, so every instruction writes a fresh register (expressions are
+// small — simplicity beats register pressure here).
+type kOp struct {
+	kind kOpKind
+	a, b int32   // kAdd/kMul: operand registers
+	acc  int32   // kLoad: index into accesses
+	lit  float64 // kLit
+}
+
+// accessPlan maps one tensor access to the value domain: pos[d] is the
+// position in the ValueProgram's origVals output indexing tensor dimension
+// d. An empty pos is a scalar access (rank-1 unit region, offset 0).
+type accessPlan struct {
+	tensor string
+	pos    []int32
+}
+
+// kernelProg is a statement's Real-mode leaf body, compiled once per plan
+// and shared by every launch and every task of the plan (it is immutable;
+// tasks carry their own scratch).
+type kernelProg struct {
+	ops      []kOp
+	out      int32 // register holding the RHS value (last op)
+	store    accessPlan
+	accesses []accessPlan // kLoad targets, RHS postorder
+	reduces  bool
+	vp       *schedule.ValueProgram
+}
+
+// compileKernelProg lowers stmt's RHS against the plan's evaluator.
+func compileKernelProg(stmt *ir.Assignment, ev *schedule.Evaluator, reduces bool) *kernelProg {
+	origPos := map[string]int32{}
+	for i, id := range ev.OrigIDs() {
+		origPos[ev.VarName(int(id))] = int32(i)
+	}
+	plan := func(a *ir.Access) accessPlan {
+		p := accessPlan{tensor: a.Tensor}
+		for _, v := range a.Indices {
+			p.pos = append(p.pos, origPos[v.Name])
+		}
+		return p
+	}
+	kp := &kernelProg{store: plan(stmt.LHS), reduces: reduces, vp: ev.CompileValues()}
+	var lower func(e ir.Expr) int32
+	lower = func(e ir.Expr) int32 {
+		switch e := e.(type) {
+		case *ir.Access:
+			kp.accesses = append(kp.accesses, plan(e))
+			kp.ops = append(kp.ops, kOp{kind: kLoad, acc: int32(len(kp.accesses) - 1)})
+		case *ir.Literal:
+			kp.ops = append(kp.ops, kOp{kind: kLit, lit: e.Value})
+		case *ir.Add:
+			l, r := lower(e.L), lower(e.R)
+			kp.ops = append(kp.ops, kOp{kind: kAdd, a: l, b: r})
+		case *ir.Mul:
+			l, r := lower(e.L), lower(e.R)
+			kp.ops = append(kp.ops, kOp{kind: kMul, a: l, b: r})
+		default:
+			panic(fmt.Sprintf("core: unknown expression %T", e))
+		}
+		return int32(len(kp.ops) - 1)
+	}
+	kp.out = lower(stmt.RHS)
+	return kp
+}
+
+// boundAccess is an accessPlan resolved against one task's raw storage: the
+// element for the current point lives at data[base+sum(origVals[pos[d]]*stride[d])].
+type boundAccess struct {
+	data   []float64
+	stride []int
+	pos    []int32
+	base   int
+}
+
+// bindRead resolves a read access against the task's requirement surface.
+func (p *accessPlan) bindRead(ctx *legion.Ctx) boundAccess {
+	data, strides := ctx.ReadSurface(p.tensor)
+	return boundAccess{data: data, stride: strides, pos: p.pos}
+}
+
+// bindWrite resolves the store target (accumulator or in-place instance).
+func (p *accessPlan) bindWrite(ctx *legion.Ctx) boundAccess {
+	data, strides, base := ctx.WriteSurface(p.tensor)
+	return boundAccess{data: data, stride: strides, pos: p.pos, base: base}
+}
+
+func (b *boundAccess) offset(origVals []int) int {
+	off := b.base
+	for d, pos := range b.pos {
+		off += origVals[pos] * b.stride[d]
+	}
+	return off
+}
+
+// run executes the program for one in-bounds point, reading the reconstructed
+// original index values from origVals and combining into the store surface.
+func (kp *kernelProg) run(loads []boundAccess, store *boundAccess, regs []float64, origVals []int) {
+	for i := range kp.ops {
+		op := &kp.ops[i]
+		switch op.kind {
+		case kLoad:
+			l := &loads[op.acc]
+			regs[i] = l.data[l.offset(origVals)]
+		case kLit:
+			regs[i] = op.lit
+		case kAdd:
+			regs[i] = regs[op.a] + regs[op.b]
+		case kMul:
+			regs[i] = regs[op.a] * regs[op.b]
+		}
+	}
+	v := regs[kp.out]
+	if kp.reduces {
+		store.data[store.offset(origVals)] += v
+	} else {
+		store.data[store.offset(origVals)] = v
+	}
+}

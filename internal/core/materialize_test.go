@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"testing"
 
 	"distal/internal/distnot"
@@ -35,6 +36,36 @@ func johnsonInput(t *testing.T, n int) Input {
 	}
 }
 
+// assertSamePrograms compares two compiled programs launch by launch, point
+// by point: requirements, privileges, rects, and cost-model values must all
+// agree.
+func assertSamePrograms(t *testing.T, p1, p2 *legion.Program) {
+	t.Helper()
+	if len(p1.Launches) != len(p2.Launches) {
+		t.Fatalf("launch counts differ: %d vs %d", len(p1.Launches), len(p2.Launches))
+	}
+	for li := range p1.Launches {
+		l1, l2 := p1.Launches[li], p2.Launches[li]
+		n := l1.Domain.Size()
+		for i := 0; i < n; i++ {
+			pt := l1.Domain.Delinearize(i)
+			r1, r2 := l1.Reqs(pt), l2.Reqs(pt)
+			if len(r1) != len(r2) {
+				t.Fatalf("launch %d point %v: req counts differ", li, pt)
+			}
+			for qi := range r1 {
+				if r1[qi].Region.Name != r2[qi].Region.Name || r1[qi].Priv != r2[qi].Priv ||
+					!r1[qi].Rect.Equal(r2[qi].Rect) {
+					t.Fatalf("launch %d point %v req %d: %v vs %v", li, pt, qi, r1[qi], r2[qi])
+				}
+			}
+			if l1.Kernel.Flops(pt) != l2.Kernel.Flops(pt) || l1.Kernel.MemBytes(pt) != l2.Kernel.MemBytes(pt) {
+				t.Fatalf("launch %d point %v: cost model differs", li, pt)
+			}
+		}
+	}
+}
+
 // TestMaterializeDeterministic: parallel launch materialization must be
 // deterministic — two compiles of the same input produce identical
 // requirements and cost-model values at every point.
@@ -48,28 +79,65 @@ func TestMaterializeDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(p1.Launches) != len(p2.Launches) {
-		t.Fatalf("launch counts differ: %d vs %d", len(p1.Launches), len(p2.Launches))
+	assertSamePrograms(t, p1, p2)
+}
+
+// summaInput builds a chunked SUMMA-style pipeline: a multi-launch plan
+// (one launch per ko chunk) that exercises launch-parallel materialization
+// and the cross-launch dist-only requirement cache.
+func summaInput(t *testing.T, n, g, chunks int) Input {
+	t.Helper()
+	stmt := ir.MustParse("A(i,j) = B(i,k) * C(k,j)")
+	m := machine.New(machine.NewGrid(g, g), machine.SysMem, machine.CPU)
+	s := schedule.New(stmt).
+		DistributeOnto([]string{"i", "j"}, []string{"io", "jo"}, []string{"ii", "ji"}, []int{g, g}).
+		Split("k", "ko", "ki", (n+chunks-1)/chunks).
+		Reorder("ko", "ii", "ji", "ki").
+		Communicate("jo", "A").
+		Communicate("ko", "B", "C")
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
 	}
-	for li := range p1.Launches {
-		l1, l2 := p1.Launches[li], p2.Launches[li]
-		n := l1.Domain.Size()
-		for i := 0; i < n; i++ {
-			pt := l1.Domain.Delinearize(i)
-			r1, r2 := l1.Reqs(pt), l2.Reqs(pt)
-			if len(r1) != len(r2) {
-				t.Fatalf("point %v: req counts differ", pt)
+	mk := func(name string) *TensorDecl {
+		return &TensorDecl{Name: name, Shape: []int{n, n}, Placement: distnot.MustParsePlacement("xy->xy")}
+	}
+	return Input{
+		Stmt:     stmt,
+		Machine:  m,
+		Tensors:  map[string]*TensorDecl{"A": mk("A"), "B": mk("B"), "C": mk("C")},
+		Schedule: s,
+	}
+}
+
+// TestMaterializeStrategiesAgree: the three materialization strategies —
+// serial (one materializer, GOMAXPROCS=1), launch-parallel (multi-launch
+// pool), and point-chunked (single launch split across workers) — must
+// produce identical programs. GOMAXPROCS is varied to force each strategy
+// regardless of the host's core count.
+func TestMaterializeStrategiesAgree(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	for _, tc := range []struct {
+		name string
+		in   Input
+	}{
+		{"multiLaunch", summaInput(t, 256, 4, 8)},
+		{"singleLaunch", johnsonInput(t, 256)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			runtime.GOMAXPROCS(1)
+			serial, err := Compile(tc.in)
+			if err != nil {
+				t.Fatal(err)
 			}
-			for qi := range r1 {
-				if r1[qi].Region.Name != r2[qi].Region.Name || r1[qi].Priv != r2[qi].Priv ||
-					!r1[qi].Rect.Equal(r2[qi].Rect) {
-					t.Fatalf("point %v req %d: %v vs %v", pt, qi, r1[qi], r2[qi])
-				}
+			runtime.GOMAXPROCS(4)
+			parallel, err := Compile(tc.in)
+			if err != nil {
+				t.Fatal(err)
 			}
-			if l1.Kernel.Flops(pt) != l2.Kernel.Flops(pt) || l1.Kernel.MemBytes(pt) != l2.Kernel.MemBytes(pt) {
-				t.Fatalf("point %v: cost model differs", pt)
-			}
-		}
+			assertSamePrograms(t, serial, parallel)
+		})
 	}
 }
 

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"distal/internal/algorithms"
+	"distal/internal/core"
+	"distal/internal/legion"
+	"distal/internal/sim"
+)
+
+// HotpathRow is one host-side hot-path measurement: the best-of-N wall time
+// of a compile or execute path the serving session exercises. These rows
+// ride along in `distal-bench -json` output so the PR-to-PR trajectory
+// records kernel and compiler speedups, not only simulated workload
+// metrics.
+type HotpathRow struct {
+	Name string  `json:"name"`
+	MS   float64 `json:"ms"`
+	Runs int     `json:"runs"`
+}
+
+// Hotpath measures the paths pinned by the hot-path benchmarks
+// (hotpath_bench_test.go) in-process: multi-launch and single-launch
+// compilation, a cold simulated execute, and validated (Real-mode)
+// execution through both the compiled kernel program and the tree-walking
+// fallback. Each measurement is the best of runs attempts.
+func Hotpath(runs int) ([]HotpathRow, error) {
+	if runs <= 0 {
+		runs = 3
+	}
+	johnson, err := algorithms.Matmul(algorithms.Johnson, algorithms.MatmulConfig{
+		N: 4096, Procs: 512, ProcsPerNode: 4, GPU: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	summa, err := algorithms.Matmul(algorithms.SUMMA, algorithms.MatmulConfig{
+		N: 8192, Procs: 256, ProcsPerNode: 4, GPU: true, ChunkSize: 256,
+	})
+	if err != nil {
+		return nil, err
+	}
+	realIn := func(tree bool) (core.Input, error) {
+		in, err := algorithms.Matmul(algorithms.SUMMA, algorithms.MatmulConfig{
+			N: 128, Procs: 16, ChunkSize: 32, Seed: 5,
+		})
+		in.TreeKernel = tree
+		return in, err
+	}
+
+	best := func(f func() error) (float64, error) {
+		b := math.Inf(1)
+		for i := 0; i < runs; i++ {
+			t0 := time.Now()
+			if err := f(); err != nil {
+				return 0, err
+			}
+			if d := float64(time.Since(t0).Microseconds()) / 1e3; d < b {
+				b = d
+			}
+		}
+		return b, nil
+	}
+	compileOnly := func(in core.Input) func() error {
+		return func() error { _, err := core.Compile(in); return err }
+	}
+	execute := func(in core.Input, opt legion.Options) func() error {
+		return func() error {
+			prog, err := core.Compile(in)
+			if err != nil {
+				return err
+			}
+			_, err = legion.Run(prog, opt)
+			return err
+		}
+	}
+
+	realCompiled, err := realIn(false)
+	if err != nil {
+		return nil, err
+	}
+	realTree, err := realIn(true)
+	if err != nil {
+		return nil, err
+	}
+	cases := []struct {
+		name string
+		f    func() error
+	}{
+		{"compile-summa16x16seq", compileOnly(summa)},
+		{"compile-johnson8x8x8", compileOnly(johnson)},
+		{"cold-execute-sim", execute(johnson, legion.Options{Params: sim.LassenGPU()})},
+		{"cold-execute-real", execute(realCompiled, legion.Options{Params: sim.LassenCPU(), Real: true})},
+		{"cold-execute-real-tree", execute(realTree, legion.Options{Params: sim.LassenCPU(), Real: true})},
+	}
+	var rows []HotpathRow
+	for _, c := range cases {
+		ms, err := best(c.f)
+		if err != nil {
+			return nil, fmt.Errorf("hotpath %s: %w", c.name, err)
+		}
+		rows = append(rows, HotpathRow{Name: c.name, MS: ms, Runs: runs})
+	}
+	return rows, nil
+}
+
+// DiffMetrics compares a fresh metrics run against a baseline and returns
+// one message per regression. Simulated makespans are deterministic and
+// compared row by row against tol (e.g. 0.20 for 20%). Host-side compile
+// and simulate times are wall-clock: noisy at sub-millisecond scale and
+// recorded on whatever hardware produced the baseline, so they are
+// compared as totals across all shared rows against the separate wallTol
+// (pass a generous value — e.g. 1.0 for 2x — when the baseline was
+// recorded on different hardware than the current run). Rows present on
+// only one side are ignored (the trajectory may add workloads).
+func DiffMetrics(baseline, current []MetricRow, tol, wallTol float64) []string {
+	type key struct{ exp, cfg string }
+	base := map[key]MetricRow{}
+	for _, r := range baseline {
+		base[key{r.Experiment, r.Config}] = r
+	}
+	var regressions []string
+	var baseCompile, curCompile, baseSim, curSim float64
+	shared := 0
+	for _, r := range current {
+		b, ok := base[key{r.Experiment, r.Config}]
+		if !ok {
+			continue
+		}
+		shared++
+		baseCompile += b.CompileMS
+		curCompile += r.CompileMS
+		baseSim += b.SimulateMS
+		curSim += r.SimulateMS
+		if b.MakespanSec > 0 && r.MakespanSec > b.MakespanSec*(1+tol) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s/%s: makespan %.4fs -> %.4fs (+%.1f%%)",
+				r.Experiment, r.Config, b.MakespanSec, r.MakespanSec,
+				100*(r.MakespanSec/b.MakespanSec-1)))
+		}
+		if b.OOM != r.OOM {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s/%s: OOM changed %v -> %v", r.Experiment, r.Config, b.OOM, r.OOM))
+		}
+	}
+	if shared == 0 {
+		return []string{"no shared rows between baseline and current metrics"}
+	}
+	if baseCompile > 0 && curCompile > baseCompile*(1+wallTol) {
+		regressions = append(regressions, fmt.Sprintf(
+			"total compile time %.1fms -> %.1fms (+%.1f%%)",
+			baseCompile, curCompile, 100*(curCompile/baseCompile-1)))
+	}
+	if baseSim > 0 && curSim > baseSim*(1+wallTol) {
+		regressions = append(regressions, fmt.Sprintf(
+			"total simulate time %.1fms -> %.1fms (+%.1f%%)",
+			baseSim, curSim, 100*(curSim/baseSim-1)))
+	}
+	return regressions
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiffMetrics(t *testing.T) {
+	base := []MetricRow{
+		{Experiment: "e", Config: "a", MakespanSec: 1.0, CompileMS: 10, SimulateMS: 10},
+		{Experiment: "e", Config: "b", MakespanSec: 2.0, CompileMS: 10, SimulateMS: 10},
+	}
+	// Unchanged and improved rows pass.
+	cur := []MetricRow{
+		{Experiment: "e", Config: "a", MakespanSec: 1.0, CompileMS: 8, SimulateMS: 11},
+		{Experiment: "e", Config: "b", MakespanSec: 1.5, CompileMS: 9, SimulateMS: 10},
+	}
+	if regs := DiffMetrics(base, cur, 0.20, 0.20); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+	// A makespan past tolerance is flagged; one within tolerance is not.
+	cur[0].MakespanSec = 1.19
+	cur[1].MakespanSec = 2.5
+	regs := DiffMetrics(base, cur, 0.20, 0.20)
+	if len(regs) != 1 || !strings.Contains(regs[0], "e/b") {
+		t.Fatalf("want one e/b makespan regression, got %v", regs)
+	}
+	// Total compile time regression is flagged once, not per row.
+	cur[0].MakespanSec, cur[1].MakespanSec = 1.0, 2.0
+	cur[0].CompileMS, cur[1].CompileMS = 15, 15
+	regs = DiffMetrics(base, cur, 0.20, 0.20)
+	if len(regs) != 1 || !strings.Contains(regs[0], "total compile time") {
+		t.Fatalf("want one compile-time regression, got %v", regs)
+	}
+	// Rows only on one side are ignored; fully disjoint sets are an error.
+	regs = DiffMetrics(base, []MetricRow{{Experiment: "x", Config: "y"}}, 0.20, 0.20)
+	if len(regs) != 1 || !strings.Contains(regs[0], "no shared rows") {
+		t.Fatalf("want no-shared-rows message, got %v", regs)
+	}
+}

@@ -106,6 +106,20 @@ type regState struct {
 	// scan into one map lookup — requirement rects repeat across points and
 	// launches.
 	cover map[tensor.RectKey][]*instance
+
+	// pieces indexes the persistent instances by requirement rect the other
+	// way around: the owners *overlapping* the rect, with the overlap and
+	// its payload precomputed. Piecewise gathers and accumulator flushes
+	// walk only the owners that matter instead of intersecting the rect
+	// with every owner of the region.
+	pieces map[tensor.RectKey][]ownerPiece
+}
+
+// ownerPiece is one persistent owner's overlap with a requirement rect.
+type ownerPiece struct {
+	inst  *instance
+	piece tensor.Rect
+	bytes int64
 }
 
 // coverFor returns the persistent instances whose rect contains the given
@@ -122,6 +136,24 @@ func (rs *regState) coverFor(key tensor.RectKey, rect tensor.Rect) []*instance {
 	}
 	rs.cover[key] = c
 	return c
+}
+
+// piecesFor returns the persistent owners overlapping the given requirement
+// rect together with their (non-empty) overlaps, in placement order.
+func (rs *regState) piecesFor(key tensor.RectKey, rect tensor.Rect) []ownerPiece {
+	if p, ok := rs.pieces[key]; ok {
+		return p
+	}
+	var p []ownerPiece
+	for _, inst := range rs.persistent {
+		piece := inst.rect.Intersect(rect)
+		if piece.Empty() {
+			continue
+		}
+		p = append(p, ownerPiece{inst: inst, piece: piece, bytes: rs.region.Bytes(piece)})
+	}
+	rs.pieces[key] = p
+	return p
 }
 
 type accKey struct {
@@ -212,6 +244,7 @@ func (e *executor) placeInitial() error {
 			transFIFO:  map[int][]*instance{},
 			transByKey: map[tensor.RectKey]*transGroup{},
 			cover:      map[tensor.RectKey][]*instance{},
+			pieces:     map[tensor.RectKey][]ownerPiece{},
 		}
 		n := e.lg.Size()
 		coord := make([]int, e.lg.Rank())
@@ -342,10 +375,33 @@ func (e *executor) ensureLocal(l *Launch, point []int, q Req, leaf int, issueAt 
 		// persistent owners.
 		return e.gather(l, point, q, leaf, issueAt, bytes)
 	}
+	// Price every candidate as CopyEstimate would (CopyStart + class cost),
+	// but compute the class cost once per cost class: candidate sources on
+	// the same side of the intra-/inter-node split differ only in port
+	// availability and instance validity, so the occupancy/latency/overhead
+	// term — the only part that needs the cost model — is shared. Symmetric
+	// replica sets (every source in one class, the common case under
+	// replication) price the model exactly once.
 	replicas := len(candidates)
+	var intraCost, interCost float64
+	haveIntra, haveInter := false, false
 	best, bestEnd := candidates[0], 0.0
 	for i, c := range candidates {
-		end := e.s.CopyEstimate(c.leaf, leaf, bytes, maxf(issueAt, c.validAt), e.gpuMem, replicas)
+		var cost float64
+		if e.s.SameNode(c.leaf, leaf) {
+			if !haveIntra {
+				intraCost = e.s.CopyClassCost(c.leaf, leaf, bytes, e.gpuMem, replicas)
+				haveIntra = true
+			}
+			cost = intraCost
+		} else {
+			if !haveInter {
+				interCost = e.s.CopyClassCost(c.leaf, leaf, bytes, e.gpuMem, replicas)
+				haveInter = true
+			}
+			cost = interCost
+		}
+		end := e.s.CopyStart(c.leaf, leaf, maxf(issueAt, c.validAt)) + cost
 		if i == 0 || end < bestEnd {
 			best, bestEnd = c, end
 		}
@@ -358,25 +414,21 @@ func (e *executor) ensureLocal(l *Launch, point []int, q Req, leaf int, issueAt 
 }
 
 // gather copies the pieces of q.Rect held by persistent owners and installs
-// a combined transient instance.
+// a combined transient instance. The owner-piece index bounds the walk to
+// the owners actually overlapping the rect.
 func (e *executor) gather(l *Launch, point []int, q Req, leaf int, issueAt float64, bytes int64) (float64, error) {
 	rs := e.reg[q.Region]
 	covered := int64(0)
 	latest := issueAt
-	for _, inst := range rs.persistent {
-		piece := inst.rect.Intersect(q.Rect)
-		if piece.Empty() {
+	for _, op := range rs.piecesFor(q.Rect.Key(), q.Rect) {
+		covered += op.bytes
+		if op.inst.leaf == leaf {
+			latest = maxf(latest, op.inst.validAt)
 			continue
 		}
-		pb := q.Region.Bytes(piece)
-		covered += pb
-		if inst.leaf == leaf {
-			latest = maxf(latest, inst.validAt)
-			continue
-		}
-		start := maxf(issueAt, inst.validAt)
-		end := e.s.Copy(inst.leaf, leaf, pb, start, e.gpuMem, 1)
-		e.record(l, point, Req{Region: q.Region, Rect: piece, Priv: q.Priv}, inst.leaf, leaf, start, end)
+		start := maxf(issueAt, op.inst.validAt)
+		end := e.s.Copy(op.inst.leaf, leaf, op.bytes, start, e.gpuMem, 1)
+		e.record(l, point, Req{Region: q.Region, Rect: op.piece, Priv: q.Priv}, op.inst.leaf, leaf, start, end)
 		latest = maxf(latest, end)
 	}
 	if covered < bytes {
@@ -530,16 +582,19 @@ func (e *executor) flushAccumulators() {
 			}
 		}
 		// Copy (or piece-wise scatter) the surviving accumulators to the
-		// owner instances.
+		// owner instances. All accumulators of the group share one rect, so
+		// the owner overlaps are resolved once through the owner-piece
+		// index rather than intersecting every accumulator with every
+		// owner of the region.
 		rs := e.reg[region]
+		pieces := rs.piecesFor(k.rect, rect)
 		for _, a := range accs {
-			for _, owner := range rs.persistent {
-				piece := owner.rect.Intersect(a.rect)
-				if piece.Empty() || owner.leaf == a.leaf {
+			for _, op := range pieces {
+				if op.inst.leaf == a.leaf {
 					continue
 				}
-				end := e.s.Copy(a.leaf, owner.leaf, region.Bytes(piece), a.lastUse, e.gpuMem, replicas)
-				e.record(nil, nil, Req{Region: region, Rect: piece, Priv: a.combine}, a.leaf, owner.leaf, a.lastUse, end)
+				end := e.s.Copy(a.leaf, op.inst.leaf, op.bytes, a.lastUse, e.gpuMem, replicas)
+				e.record(nil, nil, Req{Region: region, Rect: op.piece, Priv: a.combine}, a.leaf, op.inst.leaf, a.lastUse, end)
 			}
 		}
 	}

@@ -1,0 +1,146 @@
+package legion
+
+import (
+	"testing"
+
+	"distal/internal/distnot"
+	"distal/internal/machine"
+	"distal/internal/sim"
+	"distal/internal/tensor"
+)
+
+// TestFlushFanInScatter exercises the owner-piece index on a reduction
+// fan-in: four processors each produce a full-rect partial sum of A, whose
+// owner instances are block-distributed across all four. The flush must
+// tree-merge the four accumulators and then scatter exactly one piece to
+// every non-local owner, and the Real-mode contents must equal the sum of
+// every partial.
+func TestFlushFanInScatter(t *testing.T) {
+	const n, procs = 8, 4
+	m := flatMachine(procs)
+	place := distnot.NewPlacement(distnot.MustParse("x->x"))
+	a := NewRegion("A", []int{n}, place)
+	ta := tensor.New("A", n)
+	a.Bind(ta)
+	full := tensor.FullRect([]int{n})
+	launch := &Launch{
+		Name:   "partial",
+		Domain: machine.NewGrid(procs),
+		Reqs: func(pt []int) []Req {
+			return []Req{{Region: a, Rect: full, Priv: ReduceSum}}
+		},
+		Kernel: Kernel{
+			Flops: func(pt []int) float64 { return n },
+			Run: func(ctx *Ctx) {
+				for i := 0; i < n; i++ {
+					ctx.WriteAdd("A", float64(ctx.Point[0]+1), i)
+				}
+			},
+		},
+	}
+	prog := &Program{Name: "fanin", Machine: m, Regions: []*Region{a}, Launches: []*Launch{launch}}
+	res, err := Run(prog, Options{Params: testParams(), Real: true, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every coordinate accumulates 1+2+3+4 from the four partials.
+	for i := 0; i < n; i++ {
+		if ta.At(i) != 10 {
+			t.Fatalf("A(%d) = %v, want 10", i, ta.At(i))
+		}
+	}
+	// Each leaf owns a quarter of A; no accumulator is in place (none
+	// covers the full rect), so the binary tree merges 4 accumulators with
+	// 3 copies and the survivor (on leaf 0) scatters 3 remote pieces.
+	if res.Copies != 6 {
+		t.Fatalf("copies = %d, want 3 merge + 3 scatter", res.Copies)
+	}
+	// The scatter must send exactly the owned piece to each remote owner.
+	seen := map[int]tensor.Rect{}
+	for _, c := range res.Trace {
+		if c.Launch == "flush" && c.Src == 0 && c.Dst != 0 {
+			if _, dup := seen[c.Dst]; dup {
+				t.Fatalf("owner %d received two pieces", c.Dst)
+			}
+			seen[c.Dst] = c.Rect
+		}
+	}
+	for leaf := 1; leaf < procs; leaf++ {
+		lo, hi := tensor.BlockRange(n, procs, leaf)
+		want := tensor.NewRect([]int{lo}, []int{hi})
+		got, ok := seen[leaf]
+		if !ok {
+			t.Fatalf("owner %d received no piece; trace %v", leaf, res.Trace)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("owner %d received %v, want %v", leaf, got, want)
+		}
+	}
+}
+
+// TestSourceSelectionCostClass pins ensureLocal's cheapest-source choice
+// across cost classes: with B owned in node 0 and a fresh transient replica
+// in node 1, a reader in node 1 must fetch over the fast intra-node link
+// from the replica, not from the remote owner — and must fall back to the
+// owner under the OwnerOnly ablation.
+func TestSourceSelectionCostClass(t *testing.T) {
+	const n = 8
+	m := machine.New(machine.NewGrid(4), machine.SysMem, machine.CPU).WithProcsPerNode(2)
+	params := sim.Params{
+		PeakFlops:    100,
+		MemBandwidth: 1e18,
+		MemCapacity:  1 << 40,
+		IntraBW:      100, // intra-node is 10x faster than the network
+		InterBW:      10,
+	}
+	// B lives entirely on leaf 0 (node 0).
+	bPlace := distnot.NewPlacement(&distnot.Statement{
+		TensorDims:  []string{"x"},
+		MachineDims: []distnot.MachineName{{Kind: distnot.Fixed, Index: 0}},
+	})
+	b := NewRegion("B", []int{n}, bPlace)
+	a := NewRegion("A", []int{4}, distnot.NewPlacement(distnot.MustParse("x->x")))
+	full := tensor.FullRect([]int{n})
+	mk := func(name string, dst int) *Launch {
+		return &Launch{
+			Name:     name,
+			Domain:   machine.NewGrid(1),
+			MapPoint: func(pt []int) int { return dst },
+			Reqs: func(pt []int) []Req {
+				return []Req{
+					{Region: a, Rect: tensor.NewRect([]int{dst}, []int{dst + 1}), Priv: WriteDiscard},
+					{Region: b, Rect: full, Priv: ReadOnly},
+				}
+			},
+			Kernel: Kernel{Flops: func(pt []int) float64 { return 1 }},
+		}
+	}
+	// t1 pulls B into node 1 (leaf 3); t2 reads it from node 1 (leaf 2).
+	prog := &Program{Name: "class", Machine: m, Regions: []*Region{a, b},
+		Launches: []*Launch{mk("t1", 3), mk("t2", 2)}}
+
+	res, err := Run(prog, Options{Params: params, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != 2 {
+		t.Fatalf("trace = %v", res.Trace)
+	}
+	if res.Trace[0].Src != 0 || res.Trace[0].Dst != 3 {
+		t.Fatalf("first copy = %+v, want owner 0 -> leaf 3", res.Trace[0])
+	}
+	if res.Trace[1].Src != 3 || res.Trace[1].Dst != 2 {
+		t.Fatalf("second copy = %+v, want intra-node replica 3 -> leaf 2", res.Trace[1])
+	}
+
+	resOwner, err := Run(prog, Options{Params: params, Trace: true, OwnerOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resOwner.Trace[1].Src != 0 {
+		t.Fatalf("OwnerOnly second copy src = %d, want owner 0", resOwner.Trace[1].Src)
+	}
+	if res.Time >= resOwner.Time {
+		t.Fatalf("intra-node source should be faster: %v vs %v", res.Time, resOwner.Time)
+	}
+}

@@ -128,6 +128,39 @@ func (c *Ctx) ReadLocalAt(name string, p ...int) float64 {
 	return a.data.At(local(p, a.rect)...)
 }
 
+// ReadSurface exposes the raw storage of the named read requirement: the
+// canonical backing slice and its row-major strides, addressed in global
+// coordinates (offset = dot(p, strides)). Compiled kernel programs use it to
+// read without per-point map lookups or bounds re-checks; the requirement
+// check happens once here instead of once per element.
+func (c *Ctx) ReadSurface(name string) (data []float64, strides []int) {
+	r, ok := c.reads[name]
+	if !ok || r.Data == nil {
+		panic(fmt.Sprintf("legion: task has no readable requirement on %s", name))
+	}
+	return r.Data.Data(), r.Data.Strides()
+}
+
+// WriteSurface exposes the raw storage of the named write requirement. The
+// element at global coordinate p lives at data[base+dot(p, strides)]: for an
+// in-place instance that is the canonical tensor itself (base 0), for a
+// task-local accumulator the base folds the rect origin into the offset so
+// kernels address both cases identically.
+func (c *Ctx) WriteSurface(name string) (data []float64, strides []int, base int) {
+	a := c.acc(name)
+	t := a.data
+	if a.inPlace {
+		t = a.region.Data
+	}
+	strides = t.Strides()
+	if !a.inPlace {
+		for d, lo := range a.rect.Lo {
+			base -= lo * strides[d]
+		}
+	}
+	return t.Data(), strides, base
+}
+
 func (c *Ctx) acc(name string) *accumulator {
 	a, ok := c.writes[name]
 	if !ok {

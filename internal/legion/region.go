@@ -13,6 +13,25 @@
 //   - Simulated (the default): data is never materialized; the same task
 //     graph is walked and every copy and task is priced by internal/sim.
 //     Used to reproduce the paper's large-scale experiments.
+//
+// The executor keeps three per-region instance indexes so that source
+// selection and reduction flushes scan candidates rather than the whole
+// instance population, all keyed by the (comparable) tensor.RectKey of a
+// requirement rect:
+//
+//   - regState.cover: the persistent owners fully containing a rect — the
+//     candidate sources of whole-rect copies (filled lazily; owner
+//     placement is immutable for the run, so entries never invalidate);
+//   - regState.pieces: the owners overlapping a rect, with the overlap and
+//     its payload precomputed — drives piecewise gathers and the
+//     accumulator flush scatter;
+//   - transGroups/transByKey: live transient instances grouped by rect,
+//     with installation order recoverable from per-instance sequence
+//     numbers so candidate ordering matches an exhaustive ordered scan.
+//
+// Copy source selection prices candidates per cost class (see
+// sim.CopyClassCost): the cost model runs once per intra-/inter-node class
+// and each candidate costs only a port-availability lookup.
 package legion
 
 import (

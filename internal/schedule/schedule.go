@@ -4,9 +4,22 @@
 // introduced by the paper — distribute, communicate, and rotate.
 //
 // A Schedule is a pure description: it records transformations over the
-// statement's index variables and validates them structurally. The compiler
-// in internal/core resolves extents against concrete tensor shapes and
-// lowers the scheduled statement to a Legion program.
+// statement's index variables and validates them structurally. Every
+// command also lands in a serializable log (serialize.go), so a schedule
+// round-trips through command text — the form CLIs accept, autotuners
+// emit, and the plan cache hashes. The compiler in internal/core resolves
+// extents against concrete tensor shapes and lowers the scheduled
+// statement to a Legion program.
+//
+// The schedule's derivation DAG — how original index variables are
+// reconstructed from divided/split/rotated/fused loop variables — has two
+// compiled forms, both resolved once per (schedule, extents) and
+// allocation-free per evaluation: Evaluator (eval.go) computes value
+// *intervals* under a partial environment and is the engine of the
+// compiler's bounds analysis, and ValueProgram (value.go) computes concrete
+// *values* under a full assignment and is the index-reconstruction step of
+// Real-mode leaf kernels. Both are immutable and safe for concurrent use
+// with caller-owned scratch.
 package schedule
 
 import (

@@ -1,0 +1,128 @@
+package schedule
+
+import "fmt"
+
+// This file extends the compiled bounds evaluator (eval.go) to the value
+// domain. A ValueProgram is the scalar counterpart of Evaluator.Eval for a
+// full assignment: every loop-order variable is bound to a concrete integer
+// by the caller, so each derived variable reduces to a handful of integer
+// operations (divide/split reconstruction, rotation, fusion) instead of an
+// interval computation over every variable. Real-mode leaf kernels run one
+// ValueProgram pass per leaf point — this is the hottest loop of validated
+// execution, so the program touches only the variables the statement's
+// original indices actually derive from and performs no allocation.
+
+type valKind uint8
+
+const (
+	// valDivSplit reconstructs a divided/split origin: outer*block + inner.
+	// The reconstruction can exceed the origin's extent on the ragged tail
+	// of a non-divisible block; such points are outside the iteration space.
+	valDivSplit valKind = iota
+	// valRotate reconstructs a rotated origin: (source + offsets) mod extent.
+	valRotate
+	// valFuseOuter/valFuseInner reconstruct the constituents of a collapse.
+	valFuseOuter
+	valFuseInner
+	// valZero binds an unconstrained unit-extent variable to 0.
+	valZero
+)
+
+// valOp computes the concrete value of variable id from operands evaluated
+// by earlier ops or bound by the environment.
+type valOp struct {
+	kind    valKind
+	id      int32
+	a, b    int32   // valDivSplit: outer, inner; others: source var
+	p       int32   // valDivSplit: block size; valFuse*: inner extent
+	ext     int32   // extent of id (ragged check, rotation modulus)
+	offsets []int32 // valRotate: offset variable ids
+}
+
+// ValueProgram is the value-domain form of an Evaluator: a topologically
+// ordered integer program that derives every replaced variable from a full
+// assignment of the loop-order variables. It is immutable and safe for
+// concurrent use; callers supply per-goroutine scratch.
+type ValueProgram struct {
+	ops  []valOp
+	orig []int32 // ids of the statement's original variables
+	nv   int
+}
+
+// NumVars returns the length every vals slice passed to Run must have.
+func (vp *ValueProgram) NumVars() int { return vp.nv }
+
+// Run derives the concrete value of every original statement variable from
+// vals, in which the caller has bound every loop-order variable (see
+// Evaluator.VarID). Derived variables are written back into vals as scratch;
+// the original variables land in origVals in stmt.Vars() order. Run reports
+// false when the point falls outside the iteration space (the ragged tail of
+// a non-divisible block). It performs no allocation.
+func (vp *ValueProgram) Run(vals []int, origVals []int) bool {
+	for i := range vp.ops {
+		op := &vp.ops[i]
+		switch op.kind {
+		case valDivSplit:
+			v := vals[op.a]*int(op.p) + vals[op.b]
+			if v >= int(op.ext) {
+				return false
+			}
+			vals[op.id] = v
+		case valRotate:
+			s := vals[op.a]
+			for _, o := range op.offsets {
+				s += vals[o]
+			}
+			vals[op.id] = s % int(op.ext)
+		case valFuseOuter:
+			vals[op.id] = vals[op.a] / int(op.p)
+		case valFuseInner:
+			vals[op.id] = vals[op.a] % int(op.p)
+		case valZero:
+			vals[op.id] = 0
+		}
+	}
+	for i, id := range vp.orig {
+		origVals[i] = vals[id]
+	}
+	return true
+}
+
+// CompileValues lowers the evaluator to the value domain. The resulting
+// program assumes every loop-order variable is bound by the caller; it
+// contains one op per replaced variable on a path from the loop order to a
+// statement variable, in dependency order. Results are identical to running
+// ValueInto over the same assignment (asserted by TestValueProgramMatchesValueInto).
+func (ev *Evaluator) CompileValues() *ValueProgram {
+	vp := &ValueProgram{orig: ev.orig, nv: len(ev.names)}
+	for i := range ev.prog {
+		op := &ev.prog[i]
+		switch op.kind {
+		case opLoop:
+			// Bound by the environment: no derivation needed.
+		case opDivSplit:
+			vp.ops = append(vp.ops, valOp{
+				kind: valDivSplit, id: op.id, a: op.a, b: op.b, p: op.p,
+				ext: int32(ev.extents[op.id]),
+			})
+		case opRotate:
+			vp.ops = append(vp.ops, valOp{
+				kind: valRotate, id: op.id, a: op.a,
+				ext: int32(ev.extents[op.id]), offsets: op.offsets,
+			})
+		case opFuseOuter:
+			vp.ops = append(vp.ops, valOp{kind: valFuseOuter, id: op.id, a: op.a, p: op.p})
+		case opFuseInner:
+			vp.ops = append(vp.ops, valOp{kind: valFuseInner, id: op.id, a: op.a, p: op.p})
+		case opFull:
+			// A variable the schedule never constrains can only appear when
+			// it is ignorable; a full assignment cannot fix it (ValueInto
+			// panics in the same situation).
+			if ev.extents[op.id] > 1 {
+				panic(fmt.Sprintf("schedule: variable %s not fixed by full assignment", ev.names[op.id]))
+			}
+			vp.ops = append(vp.ops, valOp{kind: valZero, id: op.id})
+		}
+	}
+	return vp
+}

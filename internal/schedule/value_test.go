@@ -1,0 +1,118 @@
+package schedule
+
+import (
+	"testing"
+
+	"distal/internal/ir"
+)
+
+// TestValueProgramMatchesValueInto exhaustively compares the value-domain
+// program against the interval evaluator's ValueInto over every full
+// assignment of a schedule that exercises divide, split, rotate, and the
+// ragged tail (extents not divisible by block counts).
+func TestValueProgramMatchesValueInto(t *testing.T) {
+	stmt := ir.MustParse("A(i,j) = B(i,k) * C(k,j)")
+	s := New(stmt).
+		Divide("i", "io", "ii", 3). // 14/3 -> ragged blocks of 5
+		Divide("j", "jo", "ji", 4).
+		Split("k", "ko", "ki", 5). // 17/5 -> ragged tail
+		Reorder("io", "jo", "ko", "ii", "ji", "ki").
+		Distribute("io", "jo").
+		Rotate("ko", []string{"io", "jo"}, "kos")
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	ext, err := s.Extents(map[string]int{"i": 14, "j": 16, "k": 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := s.CompileEvaluator(ext)
+	vp := ev.CompileValues()
+	if vp.NumVars() != ev.NumVars() {
+		t.Fatalf("NumVars mismatch: %d vs %d", vp.NumVars(), ev.NumVars())
+	}
+
+	order := s.Order()
+	ids := make([]int, len(order))
+	dims := make([]int, len(order))
+	for i, name := range order {
+		ids[i] = ev.VarID(name)
+		dims[i] = ext[name]
+	}
+	nv := ev.NumVars()
+	fixed := make([]bool, nv)
+	for _, id := range ids {
+		fixed[id] = true
+	}
+	vals := make([]int, nv)
+	scratch := make([]Interval, nv)
+	wantOrig := make([]int, len(ev.OrigIDs()))
+	gotOrig := make([]int, len(ev.OrigIDs()))
+
+	asst := make([]int, len(order))
+	checked, inBounds := 0, 0
+	for {
+		for i, id := range ids {
+			vals[id] = asst[i]
+		}
+		want := ev.ValueInto(fixed, vals, scratch, wantOrig)
+		got := vp.Run(vals, gotOrig)
+		if got != want {
+			t.Fatalf("assignment %v: ValueProgram in-bounds=%v, ValueInto=%v", asst, got, want)
+		}
+		if want {
+			inBounds++
+			for i := range wantOrig {
+				if gotOrig[i] != wantOrig[i] {
+					t.Fatalf("assignment %v: orig[%d] = %d, want %d", asst, i, gotOrig[i], wantOrig[i])
+				}
+			}
+		}
+		checked++
+		d := len(asst) - 1
+		for d >= 0 {
+			asst[d]++
+			if asst[d] < dims[d] {
+				break
+			}
+			asst[d] = 0
+			d--
+		}
+		if d < 0 {
+			break
+		}
+	}
+	if inBounds == 0 || inBounds == checked {
+		t.Fatalf("degenerate coverage: %d of %d assignments in bounds (want both ragged skips and hits)", inBounds, checked)
+	}
+}
+
+// TestValueProgramAllocationFree: like the interval evaluator, the value
+// program must not allocate per point — it runs once per leaf point of
+// every Real-mode task.
+func TestValueProgramAllocationFree(t *testing.T) {
+	stmt := ir.MustParse("A(i,j) = B(i,k) * C(k,j)")
+	s := New(stmt).
+		Divide("i", "io", "ii", 4).
+		Divide("j", "jo", "ji", 4).
+		Split("k", "ko", "ki", 4).
+		Reorder("io", "jo", "ko", "ii", "ji", "ki").
+		Distribute("io", "jo")
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	ext, err := s.Extents(map[string]int{"i": 16, "j": 16, "k": 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := s.CompileEvaluator(ext)
+	vp := ev.CompileValues()
+	vals := make([]int, ev.NumVars())
+	orig := make([]int, len(ev.OrigIDs()))
+	allocs := testing.AllocsPerRun(100, func() {
+		vp.Run(vals, orig)
+	})
+	if allocs != 0 {
+		t.Fatalf("ValueProgram.Run allocates %v per run, want 0", allocs)
+	}
+}

@@ -7,9 +7,17 @@
 // for compiled programs.
 //
 // The constants in Lassen* are taken from the paper's §7 description of the
-// Lassen supercomputer and are documented in DESIGN.md; they determine
-// absolute numbers, while the *shape* of every experiment comes from the
-// simulated mechanisms (contention, overlap, capacity).
+// Lassen supercomputer; they determine absolute numbers, while the *shape*
+// of every experiment comes from the simulated mechanisms (contention,
+// overlap, capacity).
+//
+// Copy pricing decomposes exactly as CopyEstimate = CopyStart +
+// CopyClassCost: the start term is pure resource availability (ports,
+// NICs), while the class cost (occupancy, latency, replica overhead)
+// depends on source and destination only through their intra-/inter-node
+// classification. Callers comparing many candidate sources — the runtime's
+// nearest-valid-instance selection — rely on this identity to invoke the
+// cost model once per class instead of once per candidate.
 package sim
 
 // Params holds the cost-model constants of a simulated machine.

@@ -148,10 +148,52 @@ func (s *Sim) Compute(l int, flops, bytes float64, ready float64) float64 {
 }
 
 // CopyEstimate returns the completion time a copy would have without
-// committing any resources; used for source selection.
+// committing any resources; used for source selection. It always equals
+// CopyStart + CopyClassCost for the same arguments, so callers comparing
+// many candidate sources can price each cost class once and pay only the
+// port-availability lookup per candidate.
 func (s *Sim) CopyEstimate(src, dst int, bytes int64, ready float64, srcGPUMem bool, replicas int) float64 {
 	_, end := s.copyTimes(src, dst, bytes, ready, srcGPUMem, replicas)
 	return end
+}
+
+// SameNode reports whether two leaves share a node — the copy cost-class
+// predicate: two candidate sources on the same side of it have identical
+// CopyClassCost toward a destination.
+func (s *Sim) SameNode(a, b int) bool { return s.nodeOf[a] == s.nodeOf[b] }
+
+// CopyClassCost returns the availability-independent duration of a copy:
+// link occupancy, link latency, and replica runtime overhead. It depends on
+// (src, dst) only through their intra-/inter-node classification, so it is
+// constant across a cost class of candidate sources.
+func (s *Sim) CopyClassCost(src, dst int, bytes int64, srcGPUMem bool, replicas int) float64 {
+	lat := s.Params.IntraLatency
+	if s.nodeOf[src] != s.nodeOf[dst] {
+		lat = s.Params.InterLatency
+	}
+	return s.occupancy(src, dst, bytes, srcGPUMem) + lat + s.Params.ReplicaOverhead*float64(replicas)
+}
+
+// CopyStart returns the earliest time a copy from src to dst could start: the
+// readiness time pushed past the FIFO availability of the ports and NICs the
+// copy would occupy. No resources are committed.
+func (s *Sim) CopyStart(src, dst int, ready float64) float64 {
+	start := ready
+	if sn, dn := s.nodeOf[src], s.nodeOf[dst]; sn != dn {
+		if s.nicOut[sn] > start {
+			start = s.nicOut[sn]
+		}
+		if s.nicIn[dn] > start {
+			start = s.nicIn[dn]
+		}
+	}
+	if s.outFree[src] > start {
+		start = s.outFree[src]
+	}
+	if s.inFree[dst] > start {
+		start = s.inFree[dst]
+	}
+	return start
 }
 
 // Copy schedules a transfer of bytes from leaf src to leaf dst, not before
@@ -192,33 +234,8 @@ func (s *Sim) occupancy(src, dst int, bytes int64, srcGPUMem bool) float64 {
 }
 
 func (s *Sim) copyTimes(src, dst int, bytes int64, ready float64, srcGPUMem bool, replicas int) (start, end float64) {
-	start = ready
-	var lat float64
-	if sn, dn := s.nodeOf[src], s.nodeOf[dst]; sn == dn {
-		lat = s.Params.IntraLatency
-		if s.outFree[src] > start {
-			start = s.outFree[src]
-		}
-		if s.inFree[dst] > start {
-			start = s.inFree[dst]
-		}
-	} else {
-		lat = s.Params.InterLatency
-		if s.nicOut[sn] > start {
-			start = s.nicOut[sn]
-		}
-		if s.nicIn[dn] > start {
-			start = s.nicIn[dn]
-		}
-		if s.outFree[src] > start {
-			start = s.outFree[src]
-		}
-		if s.inFree[dst] > start {
-			start = s.inFree[dst]
-		}
-	}
-	overhead := s.Params.ReplicaOverhead * float64(replicas)
-	end = start + s.occupancy(src, dst, bytes, srcGPUMem) + lat + overhead
+	start = s.CopyStart(src, dst, ready)
+	end = start + s.CopyClassCost(src, dst, bytes, srcGPUMem, replicas)
 	return start, end
 }
 

@@ -186,3 +186,41 @@ func TestNodeOfLeaves(t *testing.T) {
 		t.Fatalf("NodeOf wrong: %d %d", s.NodeOf(3), s.NodeOf(4))
 	}
 }
+
+// TestCopyEstimateDecomposition: CopyEstimate must equal exactly
+// CopyStart + CopyClassCost — ensureLocal's cheapest-source shortcut prices
+// each cost class once and relies on this identity for its selection to be
+// bit-identical to an exhaustive per-candidate estimate.
+func TestCopyEstimateDecomposition(t *testing.T) {
+	p := Params{IntraBW: 40, InterBW: 10, IntraLatency: 1e-6, InterLatency: 5e-6, ReplicaOverhead: 1e-7}
+	s := New(gpuMachine(2, 2), p) // 2 nodes x 2 GPUs: leaves 0,1 | 2,3
+	// Commit some traffic so ports and NICs have non-trivial availability.
+	s.Copy(0, 2, 100, 0, true, 1)
+	s.Copy(1, 0, 64, 0.001, true, 2)
+	cases := []struct {
+		src, dst int
+		bytes    int64
+		ready    float64
+		gpu      bool
+		replicas int
+	}{
+		{0, 1, 800, 0, true, 1},   // intra-node
+		{0, 3, 800, 0, true, 3},   // inter-node, busy NIC
+		{2, 3, 160, 0.5, true, 2}, // intra-node on the far node
+		{3, 0, 160, 0, false, 4},  // inter-node reverse
+	}
+	for _, c := range cases {
+		want := s.CopyEstimate(c.src, c.dst, c.bytes, c.ready, c.gpu, c.replicas)
+		got := s.CopyStart(c.src, c.dst, c.ready) + s.CopyClassCost(c.src, c.dst, c.bytes, c.gpu, c.replicas)
+		if got != want {
+			t.Fatalf("copy %d->%d: start+classCost = %v, CopyEstimate = %v", c.src, c.dst, got, want)
+		}
+	}
+	// Same-class sources toward one destination share CopyClassCost.
+	if s.CopyClassCost(0, 2, 320, true, 2) != s.CopyClassCost(1, 2, 320, true, 2) {
+		t.Fatal("sources in one cost class must share CopyClassCost")
+	}
+	if !s.SameNode(0, 1) || s.SameNode(1, 2) {
+		t.Fatal("SameNode misclassifies the leaf grid")
+	}
+}

@@ -63,6 +63,12 @@ func (t *Dense) Bytes() int64 { return int64(len(t.data)) * 8 }
 // Data exposes the backing slice in row-major order.
 func (t *Dense) Data() []float64 { return t.data }
 
+// Strides returns the row-major strides of each dimension: the linear offset
+// of coordinate p is the dot product of p and the strides. The caller must
+// not mutate the returned slice. Together with Data it gives compiled leaf
+// kernels a bounds-check-free addressing path.
+func (t *Dense) Strides() []int { return t.strides }
+
 // Offset returns the row-major linear offset of the coordinate p.
 func (t *Dense) Offset(p []int) int {
 	if len(p) != len(t.shape) {

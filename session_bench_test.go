@@ -93,11 +93,13 @@ func TestPlanCacheSpeedup(t *testing.T) {
 	ratio := float64(cold) / float64(warm)
 	t.Logf("cold=%v warm=%v ratio=%.1fx", cold, warm, ratio)
 	// The bound was 10x when compilation did its bounds analysis through
-	// string-keyed maps; the compiled evaluator and parallel launch
-	// materialization made cold compiles ~4x faster, so the cache's edge
-	// over a cold Execute is structurally smaller now. 3x still pins the
-	// property that a cache hit skips a compile worth of work.
-	if ratio < 3 {
-		t.Fatalf("cache-hit Execute only %.1fx faster than cold (%v vs %v), want >= 3x", ratio, warm, cold)
+	// string-keyed maps, then 3x after the compiled evaluator and parallel
+	// launch materialization. Direct slab materialization with interned
+	// rect signatures cut cold compiles a further ~2.8x (measured ratio now
+	// 3.0-3.8x on a 1-core Xeon), so 2x is the margin that still pins the
+	// property that a cache hit skips a compile worth of work without
+	// flaking as the compiler keeps getting faster.
+	if ratio < 2 {
+		t.Fatalf("cache-hit Execute only %.1fx faster than cold (%v vs %v), want >= 2x", ratio, warm, cold)
 	}
 }
