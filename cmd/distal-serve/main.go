@@ -1,0 +1,104 @@
+// Command distal-serve exposes a DISTAL session as an HTTP/JSON service:
+// compile-once execute-many over the plan cache, under real concurrency.
+//
+// Usage:
+//
+//	distal-serve -addr :8080 -grid 4x4              # 16 CPU sockets
+//	distal-serve -grid 2x2x2 -kind gpu -ppn 4       # 8 GPUs, 4 per node
+//	distal-serve -workers 8 -timeout 10s            # pool + default deadline
+//
+// Endpoints (see internal/serve):
+//
+//	POST /v1/execute  {"stmt": "A(i,j) = B(i,k) * C(k,j)", "shapes": {...},
+//	                   "formats": {...}, "schedule": "..."}
+//	POST /v1/batch    {"requests": [...]}
+//	GET  /v1/stats    cache and server counters
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"distal"
+	"distal/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	grid := flag.String("grid", "4x4", "machine grid, e.g. 16, 4x4, 2x2x2")
+	kind := flag.String("kind", "cpu", "processor kind: cpu or gpu")
+	ppn := flag.Int("ppn", 0, "processors per node (0 = every processor on its own node)")
+	gpuParams := flag.Bool("gpu-cost", false, "use the Lassen GPU cost model (default follows -kind)")
+	workers := flag.Int("workers", 0, "max concurrent executions (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+	cache := flag.Int("cache", distal.DefaultPlanCacheSize, "plan cache capacity (0 disables)")
+	flag.Parse()
+
+	dims, err := parseGrid(*grid)
+	if err != nil {
+		log.Fatalf("distal-serve: %v", err)
+	}
+	pk := distal.CPU
+	if strings.EqualFold(*kind, "gpu") {
+		pk = distal.GPU
+	} else if !strings.EqualFold(*kind, "cpu") {
+		log.Fatalf("distal-serve: unknown -kind %q (cpu or gpu)", *kind)
+	}
+	m := distal.NewMachine(pk, dims...)
+	if *ppn > 0 {
+		m = m.WithProcsPerNode(*ppn)
+	}
+	params := distal.LassenCPU()
+	if pk == distal.GPU || *gpuParams {
+		params = distal.LassenGPU()
+	}
+	sess := distal.NewSession(m, distal.WithParams(params), distal.WithPlanCacheSize(*cache))
+	srv := serve.New(sess, serve.Config{Workers: *workers, Timeout: *timeout})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("distal-serve: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("distal-serve: shutdown: %v", err)
+		}
+	}()
+	log.Printf("distal-serve: %d processors (%s), %s on %s", m.Processors(), *grid, *kind, *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("distal-serve: %v", err)
+	}
+	<-done
+}
+
+// parseGrid parses "4", "4x4", "2x2x2" into grid dimensions.
+func parseGrid(s string) ([]int, error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	dims := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad grid %q: each dimension must be a positive integer", s)
+		}
+		dims = append(dims, n)
+	}
+	if len(dims) == 0 || len(dims) > 3 {
+		return nil, fmt.Errorf("bad grid %q: 1 to 3 dimensions", s)
+	}
+	return dims, nil
+}

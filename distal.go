@@ -9,11 +9,11 @@
 //
 // The entry point is a Session: a long-lived object owning a target
 // machine, a default cost model, and an LRU cache of compiled plans.
-// Compile once, execute many times:
+// Compile once into an immutable Plan, execute many times:
 //
 //	m := distal.NewMachine(distal.CPU, gx, gy)
 //	sess := distal.NewSession(m)
-//	res, _ := sess.Execute(distal.Request{
+//	plan, _ := sess.Compile(ctx, distal.Request{
 //	    Stmt:     "A(i,j) = B(i,k) * C(k,j)",
 //	    Shapes:   map[string][]int{"A": {n, n}, "B": {n, n}, "C": {n, n}},
 //	    Formats:  map[string]string{"A": "xy->xy", "B": "xy->xy", "C": "xy->xy"},
@@ -21,12 +21,20 @@
 //	        "distribute(io,jo) split(k,ko,ki,256) reorder(io,jo,ko,ii,ji,ki) " +
 //	        "communicate(jo,A) communicate(ko,B,C)",
 //	})
+//	res, _ := plan.Simulate(ctx)          // analysis: task graph, no data
+//	res, _ = plan.Bind(A, B, C).Run(ctx)  // real data, bound per execution
 //
 // A Request is pure data — statement, shapes, formats, and schedule are all
 // text — so workloads can be stored, shipped over the wire, and emitted by
-// autotuners. Re-executing a request with the same statement, shapes,
+// autotuners. Re-compiling a request with the same statement, shapes,
 // formats, schedule, and machine hits the session's plan cache and skips
-// compilation entirely; a cached *Program is safe for concurrent Simulate.
+// compilation entirely; concurrent identical compiles collapse into one
+// (singleflight); a cached Plan is safe for concurrent Simulate and
+// Bind.Run. Contexts cancel compilation and execution promptly, and
+// failures at the API boundary are *Error values classified by stage
+// (KindParse, KindSchedule, KindCompile, KindExec, KindCanceled). The
+// one-call Session.Execute shim remains for CLIs, and cmd/distal-serve
+// exposes all of this over HTTP/JSON (see internal/serve).
 //
 // For programmatic construction (and for Real-mode execution on bound
 // data), the fluent layer mirrors Figure 2 of the paper:
@@ -336,8 +344,8 @@ func (c *Computation) compile() (*Program, string, error) {
 	key := ""
 	if c.sess != nil && c.cacheable() {
 		key = core.PlanKey(in)
-		if p := c.sess.lookup(key); p != nil {
-			return &Program{P: p, c: c}, key, nil
+		if pd := c.sess.lookup(key); pd != nil {
+			return &Program{P: pd.prog, c: c}, key, nil
 		}
 	}
 	p, err := core.Compile(in)
@@ -345,7 +353,7 @@ func (c *Computation) compile() (*Program, string, error) {
 		return nil, "", err
 	}
 	if key != "" {
-		c.sess.store(key, p)
+		c.sess.store(key, c.newPlanData(p))
 	}
 	return &Program{P: p, c: c}, key, nil
 }

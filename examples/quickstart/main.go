@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -75,19 +76,39 @@ func main() {
 	fmt.Printf("\nschedule text:\n  %s\n", schedText)
 
 	// ... so the whole workload travels as a Request — statement, shapes,
-	// formats, and schedule, all text. Executing it twice compiles once:
-	// the second Execute is a plan-cache hit.
+	// formats, and schedule, all text. Compiling it yields an immutable
+	// Plan: compile once, execute many times. The second Compile resolves
+	// from the plan cache without re-parsing anything.
+	ctx := context.Background()
 	req := distal.Request{
 		Stmt:     "A(i,j) = B(i,k) * C(k,j)",
 		Shapes:   map[string][]int{"A": {n, n}, "B": {n, n}, "C": {n, n}},
 		Formats:  map[string]string{"A": "xy->xy", "B": "xy->xy", "C": "xy->xy"},
 		Schedule: schedText,
 	}
-	for i := 0; i < 2; i++ {
-		if _, err := sess.Execute(req); err != nil {
-			log.Fatal(err)
-		}
+	plan, err := sess.Compile(ctx, req)
+	if err != nil {
+		log.Fatal(err)
 	}
+	if _, err := plan.Simulate(ctx); err != nil {
+		log.Fatal(err)
+	}
+	again, err := sess.Compile(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nplan %s...: cached on recompile: %v\n", plan.Key()[:12], again.Stats().Cached)
 	st := sess.CacheStats()
-	fmt.Printf("plan cache after 2 requests: %d hit, %d miss\n", st.Hits, st.Misses)
+	fmt.Printf("plan cache: %d hit, %d miss\n", st.Hits, st.Misses)
+
+	// The same cached plan also runs on real data, bound per execution:
+	// the plan stays immutable and shareable.
+	A2 := distal.NewTensor("A", f, n, n).Zero()
+	B2 := distal.NewTensor("B", f, n, n).FillRandom(7)
+	C2 := distal.NewTensor("C", f, n, n).FillRandom(8)
+	binding := plan.Bind(A2, B2, C2)
+	if _, err := binding.Run(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan-bound real run produced %d values\n", binding.Output().Data.Size())
 }

@@ -33,6 +33,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -73,6 +74,21 @@ type Input struct {
 
 // Compile lowers the scheduled statement to a Legion program.
 func Compile(in Input) (*legion.Program, error) {
+	return CompileContext(context.Background(), in)
+}
+
+// cancelCheckPoints is how many domain points a materialization worker
+// analyzes between cancellation checkpoints.
+const cancelCheckPoints = 1024
+
+// CompileContext is Compile under a context: the launch-materialization
+// workers poll ctx every cancelCheckPoints domain points and the whole
+// compile aborts with ctx's error, so a canceled request stops burning the
+// pool promptly even mid-launch.
+func CompileContext(ctx context.Context, in Input) (*legion.Program, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sched := in.Schedule
 	if sched == nil {
 		sched = schedule.New(in.Stmt)
@@ -113,6 +129,7 @@ func Compile(in Input) (*legion.Program, error) {
 
 	c := &compiler{
 		in:      in,
+		ctx:     ctx,
 		sched:   sched,
 		extents: extents,
 		order:   sched.Order(),
@@ -123,6 +140,7 @@ func Compile(in Input) (*legion.Program, error) {
 
 type compiler struct {
 	in      Input
+	ctx     context.Context
 	sched   *schedule.Schedule
 	extents map[string]int
 	order   []string
@@ -303,6 +321,9 @@ func (c *compiler) lower() (*legion.Program, error) {
 		})
 	}
 	prog.Launches = c.materializeLaunches(domain, seqs)
+	if err := c.ctx.Err(); err != nil {
+		return nil, err
+	}
 	return prog, nil
 }
 
@@ -518,6 +539,9 @@ func (c *compiler) materializeLaunches(domain machine.Grid, seqs []map[string]in
 	if nw <= 1 {
 		m := c.newMaterializer(domain.Rank(), len(seqs) > 1)
 		for i, seq := range seqs {
+			if c.ctx.Err() != nil {
+				return launches
+			}
 			launches[i] = m.buildLaunch(c, domain, seq)
 		}
 		return launches
@@ -531,7 +555,7 @@ func (c *compiler) materializeLaunches(domain machine.Grid, seqs []map[string]in
 			m := c.newMaterializer(domain.Rank(), true)
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(seqs) {
+				if i >= len(seqs) || c.ctx.Err() != nil {
 					return
 				}
 				launches[i] = m.buildLaunch(c, domain, seqs[i])
@@ -542,10 +566,13 @@ func (c *compiler) materializeLaunches(domain machine.Grid, seqs []map[string]in
 	return launches
 }
 
-// rectEntry is one interned requirement rect: the canonical Rect value, a
-// dense id used in point signatures, and its payload size.
+// rectEntry is one interned requirement rect: the canonical Rect value, its
+// comparable key, a dense id used in point signatures, and its payload size.
+// The key is built once here so the runtime's per-requirement indexes never
+// rebuild it during execution.
 type rectEntry struct {
 	rect  tensor.Rect
+	key   tensor.RectKey
 	id    int32
 	bytes int64
 }
@@ -629,6 +656,9 @@ func (m *materializer) buildLaunch(c *compiler, domain machine.Grid, seq map[str
 	}
 
 	for i := 0; i < n; i++ {
+		if i%cancelCheckPoints == cancelCheckPoints-1 && c.ctx.Err() != nil {
+			return nil
+		}
 		domain.DelinearizeInto(i, m.point)
 		for d, id := range c.distIDs {
 			m.vals[id] = m.point[d]
@@ -676,7 +706,7 @@ func (m *materializer) buildLaunch(c *compiler, domain machine.Grid, seq map[str
 			e, ok := m.rects[string(m.keyBuf)]
 			if !ok {
 				r := tensor.NewRect(lo, hi)
-				e = &rectEntry{rect: r, id: int32(len(m.rects)), bytes: c.tensors[ti].region.Bytes(r)}
+				e = &rectEntry{rect: r, key: r.Key(), id: int32(len(m.rects)), bytes: c.tensors[ti].region.Bytes(r)}
 				m.rects[string(m.keyBuf)] = e
 			}
 			m.ents[ti] = e
@@ -706,6 +736,7 @@ func (m *materializer) buildLaunch(c *compiler, domain machine.Grid, seq map[str
 					Region: c.tensors[ti].region,
 					Rect:   e.rect,
 					Priv:   c.tensors[ti].priv,
+					Key:    e.key,
 				})
 				memBytes += float64(e.bytes)
 			}
@@ -778,6 +809,9 @@ func (c *compiler) buildLaunchChunked(domain machine.Grid, seq map[string]int) *
 		}()
 	}
 	wg.Wait()
+	if c.ctx.Err() != nil {
+		return nil // workers bailed early; the compile is aborting
+	}
 
 	// Merge worker-local infos into the launch's shared requirement slab,
 	// deduplicating across workers. Workers are merged in chunk order so the
@@ -802,6 +836,7 @@ func (c *compiler) buildLaunchChunked(domain machine.Grid, seq map[string]int) *
 						Region: c.tensors[ti].region,
 						Rect:   wi.rects[ti],
 						Priv:   c.tensors[ti].priv,
+						Key:    wi.rects[ti].Key(),
 					})
 				}
 				infos = append(infos, pointInfo{off: off, flops: wi.flops, memBytes: wi.memBytes})
@@ -864,6 +899,9 @@ func (c *compiler) materializeChunk(pw *pointWorker, domain machine.Grid, idx []
 	ev := c.ev
 	full := len(c.cuts) - 1
 	for i := pw.start; i < pw.end; i++ {
+		if (i-pw.start)%cancelCheckPoints == cancelCheckPoints-1 && c.ctx.Err() != nil {
+			return
+		}
 		domain.DelinearizeInto(i, pw.point)
 		for d, id := range c.distIDs {
 			pw.vals[id] = pw.point[d]

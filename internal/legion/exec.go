@@ -1,6 +1,7 @@
 package legion
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -15,6 +16,11 @@ type Options struct {
 	Params sim.Params
 	// Real executes leaf kernels on actual data (for correctness checks).
 	Real bool
+	// Data binds per-execution canonical data by region name, overriding
+	// Region.Data. A cached (immutable, data-free) program can thereby run
+	// Real-mode executions on different tensors concurrently: the binding
+	// lives in the execution, not in the shared plan.
+	Data map[string]*tensor.Dense
 	// Synchronous disables communication/computation overlap: copies cannot
 	// start before the destination processor is idle, and a global barrier
 	// separates launches. Models non-overlapping baselines (ScaLAPACK, CTF).
@@ -165,15 +171,18 @@ type accKey struct {
 type executor struct {
 	prog    *Program
 	opt     Options
+	ctx     context.Context
 	s       *sim.Sim
 	lg      machine.Grid
 	gpuMem  bool
 	reg     map[*Region]*regState
+	data    map[*Region]*tensor.Dense // Real mode: resolved canonical data
 	accs    map[accKey]*accumulator
 	accSeq  []*accumulator
 	trace   []CopyRecord
 	candBuf []*instance // scratch for ensureLocal's candidate collection
 	instSeq int64       // next transient installation sequence number
+	steps   int         // points since the last cancellation checkpoint
 
 	// Double-buffering throttle: copies for a leaf's task in launch s may
 	// not start before its task in launch s-TransientWindow completed
@@ -185,12 +194,27 @@ type executor struct {
 
 // Run executes the program under the given options.
 func Run(p *Program, opt Options) (*Result, error) {
+	return RunContext(context.Background(), p, opt)
+}
+
+// cancelCheckEvery is how many domain points the executor processes between
+// cancellation checkpoints: frequent enough that cancellation is prompt
+// (points cost microseconds in simulation), rare enough that the atomic
+// context poll stays off the per-point profile.
+const cancelCheckEvery = 256
+
+// RunContext executes the program under the given options, aborting with
+// ctx's error at the next checkpoint once ctx is done. The event loop
+// checks between launches and every cancelCheckEvery points within one, so
+// even single-launch programs over large domains cancel promptly.
+func RunContext(ctx context.Context, p *Program, opt Options) (*Result, error) {
 	if opt.TransientWindow == 0 {
 		opt.TransientWindow = 2
 	}
 	e := &executor{
 		prog:   p,
 		opt:    opt,
+		ctx:    ctx,
 		s:      sim.New(p.Machine, opt.Params),
 		lg:     p.Machine.LeafGrid(),
 		gpuMem: p.Machine.LeafMem() == machine.GPUFBMem,
@@ -201,6 +225,9 @@ func Run(p *Program, opt Options) (*Result, error) {
 		return nil, err
 	}
 	for _, l := range p.Launches {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		ends := make([]float64, e.lg.Size())
 		if n := len(e.endHist); n > 0 {
 			copy(ends, e.endHist[n-1]) // leaves without a task keep their last end
@@ -231,12 +258,31 @@ func Run(p *Program, opt Options) (*Result, error) {
 	return res, nil
 }
 
-// placeInitial creates the persistent owner instances dictated by each
-// region's placement and charges their memory.
+// placeInitial resolves the execution's data binding, then creates the
+// persistent owner instances dictated by each region's placement and charges
+// their memory.
 func (e *executor) placeInitial() error {
+	if e.opt.Real {
+		e.data = make(map[*Region]*tensor.Dense, len(e.prog.Regions))
+	}
 	for _, r := range e.prog.Regions {
-		if e.opt.Real && r.Data == nil {
-			return fmt.Errorf("legion: Real execution requires data bound to region %s", r.Name)
+		if e.opt.Real {
+			d := e.opt.Data[r.Name]
+			if d == nil {
+				d = r.Data
+			}
+			if d == nil {
+				return fmt.Errorf("legion: Real execution requires data bound to region %s", r.Name)
+			}
+			if len(d.Shape()) != len(r.Shape) {
+				return fmt.Errorf("legion: data bound to region %s has rank %d, want %d", r.Name, len(d.Shape()), len(r.Shape))
+			}
+			for dim := range r.Shape {
+				if d.Shape()[dim] != r.Shape[dim] {
+					return fmt.Errorf("legion: data bound to region %s has shape %v, want %v", r.Name, d.Shape(), r.Shape)
+				}
+			}
+			e.data[r] = d
 		}
 		rs := &regState{
 			region:     r,
@@ -272,6 +318,12 @@ func (e *executor) runLaunch(l *Launch) error {
 	n := l.Domain.Size()
 	point := make([]int, l.Domain.Rank())
 	for i := 0; i < n; i++ {
+		if e.steps++; e.steps >= cancelCheckEvery {
+			e.steps = 0
+			if err := e.ctx.Err(); err != nil {
+				return err
+			}
+		}
 		l.Domain.DelinearizeInto(i, point)
 		leaf := mapPoint(point)
 		if leaf < 0 || leaf >= e.lg.Size() {
@@ -289,7 +341,7 @@ func (e *executor) runLaunch(l *Launch) error {
 		taskReady := issueAt
 		var ctx *Ctx
 		if e.opt.Real {
-			ctx = &Ctx{Point: point, reads: map[string]*Region{}, writes: map[string]*accumulator{}}
+			ctx = &Ctx{Point: point, reads: map[string]*tensor.Dense{}, writes: map[string]*accumulator{}}
 		}
 		var taskAccs []*accumulator
 		for _, q := range reqs {
@@ -306,7 +358,7 @@ func (e *executor) runLaunch(l *Launch) error {
 					taskReady = at
 				}
 				if ctx != nil {
-					ctx.reads[q.Region.Name] = q.Region
+					ctx.reads[q.Region.Name] = e.data[q.Region]
 				}
 			default:
 				acc := e.writeTarget(q, leaf)
@@ -353,7 +405,7 @@ func (e *executor) ensureLocal(l *Launch, point []int, q Req, leaf int, issueAt 
 	// persistent owners via the rect index, then live transients (scanning
 	// distinct rects, not instances; re-sorted into installation order so
 	// the source selection is identical to an exhaustive ordered scan).
-	candidates := append(e.candBuf[:0], rs.coverFor(q.Rect.Key(), q.Rect)...)
+	candidates := append(e.candBuf[:0], rs.coverFor(q.rectKey(), q.Rect)...)
 	if !e.opt.OwnerOnly {
 		base := len(candidates)
 		for _, g := range rs.transGroups {
@@ -409,7 +461,7 @@ func (e *executor) ensureLocal(l *Launch, point []int, q Req, leaf int, issueAt 
 	start := maxf(issueAt, best.validAt)
 	end := e.s.Copy(best.leaf, leaf, bytes, start, e.gpuMem, replicas)
 	e.record(l, point, q, best.leaf, leaf, start, end)
-	e.installTransient(rs, leaf, q.Rect, end, bytes)
+	e.installTransient(rs, leaf, q.Rect, q.rectKey(), end, bytes)
 	return end, nil
 }
 
@@ -420,7 +472,7 @@ func (e *executor) gather(l *Launch, point []int, q Req, leaf int, issueAt float
 	rs := e.reg[q.Region]
 	covered := int64(0)
 	latest := issueAt
-	for _, op := range rs.piecesFor(q.Rect.Key(), q.Rect) {
+	for _, op := range rs.piecesFor(q.rectKey(), q.Rect) {
 		covered += op.bytes
 		if op.inst.leaf == leaf {
 			latest = maxf(latest, op.inst.validAt)
@@ -435,13 +487,13 @@ func (e *executor) gather(l *Launch, point []int, q Req, leaf int, issueAt float
 		return 0, fmt.Errorf("legion: no instances cover %s of region %s (launch %s point %v)",
 			q.Rect, q.Region.Name, l.Name, point)
 	}
-	e.installTransient(rs, leaf, q.Rect, latest, bytes)
+	e.installTransient(rs, leaf, q.Rect, q.rectKey(), latest, bytes)
 	return latest, nil
 }
 
-func (e *executor) installTransient(rs *regState, leaf int, rect tensor.Rect, validAt float64, bytes int64) {
+func (e *executor) installTransient(rs *regState, leaf int, rect tensor.Rect, key tensor.RectKey, validAt float64, bytes int64) {
 	inst := &instance{
-		leaf: leaf, rect: rect, key: rect.Key(), seq: e.instSeq,
+		leaf: leaf, rect: rect, key: key, seq: e.instSeq,
 		validAt: validAt, live: true, bytes: bytes,
 	}
 	e.instSeq++
@@ -490,7 +542,8 @@ func removeInst(s []*instance, x *instance) []*instance {
 // writeTarget returns the accumulator for a write requirement, preferring
 // in-place updates when the computing leaf owns the written rect.
 func (e *executor) writeTarget(q Req, leaf int) *accumulator {
-	key := accKey{region: q.Region, leaf: leaf, rect: q.Rect.Key()}
+	rk := q.rectKey()
+	key := accKey{region: q.Region, leaf: leaf, rect: rk}
 	if a, ok := e.accs[key]; ok {
 		return a
 	}
@@ -501,7 +554,9 @@ func (e *executor) writeTarget(q Req, leaf int) *accumulator {
 	}
 	a := &accumulator{
 		region:  q.Region,
+		canon:   e.data[q.Region],
 		rect:    q.Rect,
+		key:     rk,
 		combine: q.Priv,
 		inPlace: inPlace,
 		leaf:    leaf,
@@ -536,9 +591,9 @@ func (e *executor) flushAccumulators() {
 			a.rect.Points(func(p []int) {
 				v := a.data.At(local(p, a.rect)...)
 				if a.combine == ReduceSum {
-					a.region.Data.Add(v, p...)
+					a.canon.Add(v, p...)
 				} else {
-					a.region.Data.Set(v, p...)
+					a.canon.Set(v, p...)
 				}
 			})
 		}
@@ -554,7 +609,7 @@ func (e *executor) flushAccumulators() {
 		if a.inPlace {
 			continue
 		}
-		k := groupKey{a.region, a.rect.Key()}
+		k := groupKey{a.region, a.key}
 		if _, ok := groups[k]; !ok {
 			order = append(order, k)
 		}

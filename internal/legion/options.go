@@ -1,6 +1,9 @@
 package legion
 
-import "distal/internal/sim"
+import (
+	"distal/internal/sim"
+	"distal/internal/tensor"
+)
 
 // Option is a functional modifier of Options. The Run/Simulate/SimulateOpts
 // trio of earlier API revisions is consolidated into a single construction
@@ -19,6 +22,18 @@ func NewOptions(params sim.Params, mods ...Option) Options {
 
 // WithReal executes leaf kernels on actual data (correctness mode).
 func WithReal() Option { return func(o *Options) { o.Real = true } }
+
+// WithData binds per-execution canonical data by region name (implies
+// nothing about Real; combine with WithReal). The binding overrides
+// Region.Data, letting a shared cached program run on caller-owned tensors.
+func WithData(data map[string]*tensor.Dense) Option {
+	return func(o *Options) { o.Data = data }
+}
+
+// WithParams replaces the cost model NewOptions was seeded with.
+func WithParams(p sim.Params) Option {
+	return func(o *Options) { o.Params = p }
+}
 
 // WithSynchronous disables communication/computation overlap.
 func WithSynchronous() Option { return func(o *Options) { o.Synchronous = true } }

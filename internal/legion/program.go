@@ -65,12 +65,14 @@ func defaultMapPoint(domain, leaves machine.Grid) func(point []int) int {
 }
 
 // Ctx gives a Real-mode leaf kernel access to the data of its region
-// requirements in global coordinates.
+// requirements in global coordinates. Reads and writes resolve against the
+// execution's data binding (Options.Data overriding Region.Data), so one
+// immutable cached program can run on different data per execution.
 type Ctx struct {
 	// Point is the task's domain coordinate. The slice is reused across
 	// the launch; kernels must not retain it past their invocation.
 	Point  []int
-	reads  map[string]*Region
+	reads  map[string]*tensor.Dense
 	writes map[string]*accumulator
 }
 
@@ -78,7 +80,9 @@ type Ctx struct {
 // is combined into the canonical region data when reductions flush.
 type accumulator struct {
 	region  *Region
+	canon   *tensor.Dense // the execution's canonical data (Real mode only)
 	rect    tensor.Rect
+	key     tensor.RectKey
 	data    *tensor.Dense // indexed by local coordinates (global - rect.Lo)
 	combine Privilege     // ReduceSum accumulates; others overwrite
 	inPlace bool          // writes go directly to the canonical data
@@ -91,18 +95,18 @@ type accumulator struct {
 // a single version for the duration of a program, so every valid instance
 // holds identical contents.
 func (c *Ctx) ReadAt(name string, p ...int) float64 {
-	r, ok := c.reads[name]
-	if !ok || r.Data == nil {
+	t, ok := c.reads[name]
+	if !ok || t == nil {
 		panic(fmt.Sprintf("legion: task has no readable requirement on %s", name))
 	}
-	return r.Data.At(p...)
+	return t.At(p...)
 }
 
 // WriteAdd accumulates v into region name at the global coordinate p.
 func (c *Ctx) WriteAdd(name string, v float64, p ...int) {
 	a := c.acc(name)
 	if a.inPlace {
-		a.region.Data.Add(v, p...)
+		a.canon.Add(v, p...)
 		return
 	}
 	a.data.Add(v, local(p, a.rect)...)
@@ -112,7 +116,7 @@ func (c *Ctx) WriteAdd(name string, v float64, p ...int) {
 func (c *Ctx) WriteSet(name string, v float64, p ...int) {
 	a := c.acc(name)
 	if a.inPlace {
-		a.region.Data.Set(v, p...)
+		a.canon.Set(v, p...)
 		return
 	}
 	a.data.Set(v, local(p, a.rect)...)
@@ -123,7 +127,7 @@ func (c *Ctx) WriteSet(name string, v float64, p ...int) {
 func (c *Ctx) ReadLocalAt(name string, p ...int) float64 {
 	a := c.acc(name)
 	if a.inPlace {
-		return a.region.Data.At(p...)
+		return a.canon.At(p...)
 	}
 	return a.data.At(local(p, a.rect)...)
 }
@@ -134,11 +138,11 @@ func (c *Ctx) ReadLocalAt(name string, p ...int) float64 {
 // read without per-point map lookups or bounds re-checks; the requirement
 // check happens once here instead of once per element.
 func (c *Ctx) ReadSurface(name string) (data []float64, strides []int) {
-	r, ok := c.reads[name]
-	if !ok || r.Data == nil {
+	t, ok := c.reads[name]
+	if !ok || t == nil {
 		panic(fmt.Sprintf("legion: task has no readable requirement on %s", name))
 	}
-	return r.Data.Data(), r.Data.Strides()
+	return t.Data(), t.Strides()
 }
 
 // WriteSurface exposes the raw storage of the named write requirement. The
@@ -150,7 +154,7 @@ func (c *Ctx) WriteSurface(name string) (data []float64, strides []int, base int
 	a := c.acc(name)
 	t := a.data
 	if a.inPlace {
-		t = a.region.Data
+		t = a.canon
 	}
 	strides = t.Strides()
 	if !a.inPlace {

@@ -117,6 +117,22 @@ type Req struct {
 	Region *Region
 	Rect   tensor.Rect
 	Priv   Privilege
+	// Key is Rect's comparable identity, precomputed by the compiler when
+	// requirements are materialized (rects are interned there, so the key is
+	// built once per distinct rect rather than once per requirement per
+	// launch point during execution). A zero Key means "not precomputed";
+	// the executor falls back to rebuilding it.
+	Key tensor.RectKey
+}
+
+// rectKey returns the requirement rect's comparable identity, preferring the
+// precomputed Key. Requirement rects always have rank >= 1, so the zero
+// RectKey (rank 0) is never a valid precomputed key.
+func (q *Req) rectKey() tensor.RectKey {
+	if q.Key == (tensor.RectKey{}) {
+		return q.Rect.Key()
+	}
+	return q.Key
 }
 
 func (q Req) String() string {

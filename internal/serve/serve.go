@@ -1,0 +1,407 @@
+// Package serve is the HTTP/JSON front end of the DISTAL service: a thin,
+// dependency-free layer that turns distal.Session's plan-centric API into a
+// wire protocol. Requests arrive as pure data (statement, shapes, formats,
+// schedule — exactly distal.Request), compile through the session's plan
+// cache (concurrent identical requests share one compile via singleflight),
+// and execute under per-request deadlines on a bounded worker pool. The
+// structured error taxonomy maps onto HTTP status codes, so clients can
+// retry and report without parsing error strings.
+//
+// Endpoints:
+//
+//	POST /v1/execute  one request -> simulated metrics
+//	POST /v1/batch    up to MaxBatch requests, executed concurrently
+//	GET  /v1/stats    cache + server counters
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distal"
+)
+
+// Config bounds the server.
+type Config struct {
+	// Workers is the maximum number of concurrently executing requests
+	// (compilation + simulation); further requests queue until a worker
+	// frees or their deadline expires. Default: GOMAXPROCS.
+	Workers int
+	// Timeout is the default per-request deadline, overridable per request
+	// (downward or upward, capped at MaxTimeout) with "timeout_ms".
+	// Default 30s.
+	Timeout time.Duration
+	// MaxTimeout caps client-requested deadlines. Default 5m.
+	MaxTimeout time.Duration
+	// MaxBatch is the largest accepted /v1/batch request. Default 64.
+	MaxBatch int
+	// MaxBody is the largest accepted request body in bytes. Default 4 MiB.
+	MaxBody int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 4 << 20
+	}
+	return c
+}
+
+// Server serves a Session over HTTP. It is an http.Handler.
+type Server struct {
+	sess  *distal.Session
+	cfg   Config
+	sem   chan struct{}
+	mux   *http.ServeMux
+	start time.Time
+
+	requests atomic.Int64
+	failures atomic.Int64
+	inflight atomic.Int64
+	byKind   [distal.KindCanceled + 1]atomic.Int64
+}
+
+// New builds a server over the session.
+func New(sess *distal.Session, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		sess:  sess,
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.Workers),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("/v1/execute", s.handleExecute)
+	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// ExecuteRequest is the wire form of one workload: distal.Request plus
+// execution modifiers.
+type ExecuteRequest struct {
+	Stmt     string            `json:"stmt"`
+	Shapes   map[string][]int  `json:"shapes"`
+	Formats  map[string]string `json:"formats,omitempty"`
+	Schedule string            `json:"schedule,omitempty"`
+	// Trace includes the copy trace in the response (can be large).
+	Trace bool `json:"trace,omitempty"`
+	// TimeoutMS overrides the server's default per-request deadline.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Synchronous disables communication/computation overlap.
+	Synchronous bool `json:"synchronous,omitempty"`
+}
+
+func (q *ExecuteRequest) request() distal.Request {
+	return distal.Request{Stmt: q.Stmt, Shapes: q.Shapes, Formats: q.Formats, Schedule: q.Schedule}
+}
+
+// ExecuteResponse reports one executed workload: plan identity, compile
+// provenance, and the simulated metrics.
+type ExecuteResponse struct {
+	PlanKey   string  `json:"plan_key"`
+	Cached    bool    `json:"cached"`
+	Shared    bool    `json:"shared,omitempty"`
+	CompileMS float64 `json:"compile_ms"`
+	Launches  int     `json:"launches"`
+	Points    int     `json:"points"`
+
+	TimeS        float64 `json:"time_s"`
+	GFlopsPerSec float64 `json:"gflops"`
+	Flops        float64 `json:"flops"`
+	IntraBytes   int64   `json:"intra_bytes"`
+	InterBytes   int64   `json:"inter_bytes"`
+	Copies       int64   `json:"copies"`
+	PeakMemBytes int64   `json:"peak_mem_bytes"`
+	OOM          bool    `json:"oom,omitempty"`
+
+	Trace []distal.CopyRecord `json:"trace,omitempty"`
+}
+
+// ErrorBody is the wire form of a failure.
+type ErrorBody struct {
+	// Kind is the stable taxonomy name: parse, schedule, compile, exec,
+	// canceled, unknown.
+	Kind    string `json:"kind"`
+	Message string `json:"message"`
+}
+
+type errorResponse struct {
+	Error ErrorBody `json:"error"`
+}
+
+// statusFor maps the error taxonomy onto HTTP status codes: client-caused
+// failures (malformed statement, bad schedule, unlowerable program) are 4xx,
+// runtime failures 500, and expired deadlines 504.
+func statusFor(kind distal.ErrKind) int {
+	switch kind {
+	case distal.KindParse:
+		return http.StatusBadRequest
+	case distal.KindSchedule, distal.KindCompile:
+		return http.StatusUnprocessableEntity
+	case distal.KindCanceled:
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) countErr(err error) (ErrorBody, int) {
+	kind := distal.KindOf(err)
+	s.failures.Add(1)
+	s.byKind[kind].Add(1)
+	return ErrorBody{Kind: kind.String(), Message: err.Error()}, statusFor(kind)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	body, status := s.countErr(err)
+	writeJSON(w, status, errorResponse{Error: body})
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	// One limited reader serves both the decoder and the keep-alive drain:
+	// a body beyond MaxBody errors out and the drain never reads past the
+	// limiter either (MaxBytesReader closes oversized connections).
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+	defer io.Copy(io.Discard, body) //nolint:errcheck — drain for keep-alive
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		s.writeError(w, &distal.Error{Kind: distal.KindParse, Op: "decode", Err: err})
+		return false
+	}
+	return true
+}
+
+// deadlineFor derives the request's execution context.
+func (s *Server) deadlineFor(parent context.Context, timeoutMS int) (context.Context, context.CancelFunc) {
+	d := s.cfg.Timeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+		if d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+	}
+	return context.WithTimeout(parent, d)
+}
+
+// acquire blocks until a worker slot frees or ctx is done.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return &distal.Error{Kind: distal.KindCanceled, Op: "queue", Err: fmt.Errorf("timed out waiting for a worker: %w", ctx.Err())}
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// run compiles and simulates one request on an acquired worker slot.
+func (s *Server) run(ctx context.Context, q *ExecuteRequest) (*ExecuteResponse, error) {
+	plan, err := s.sess.Compile(ctx, q.request())
+	if err != nil {
+		return nil, err
+	}
+	var opts []distal.ExecOption
+	if q.Trace {
+		opts = append(opts, distal.WithTrace())
+	}
+	if q.Synchronous {
+		opts = append(opts, distal.WithSynchronous())
+	}
+	res, err := plan.Simulate(ctx, opts...)
+	if err != nil {
+		return nil, err
+	}
+	st := plan.Stats()
+	return &ExecuteResponse{
+		PlanKey:      plan.Key(),
+		Cached:       st.Cached,
+		Shared:       st.Shared,
+		CompileMS:    float64(st.CompileTime) / float64(time.Millisecond),
+		Launches:     st.Launches,
+		Points:       st.Points,
+		TimeS:        res.Time,
+		GFlopsPerSec: res.GFlopsPerSec(),
+		Flops:        res.Flops,
+		IntraBytes:   res.IntraBytes,
+		InterBytes:   res.InterBytes,
+		Copies:       res.Copies,
+		PeakMemBytes: res.PeakMemBytes,
+		OOM:          res.OOM,
+		Trace:        res.Trace,
+	}, nil
+}
+
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.requests.Add(1)
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	var q ExecuteRequest
+	if !s.decode(w, r, &q) {
+		return
+	}
+	ctx, cancel := s.deadlineFor(r.Context(), q.TimeoutMS)
+	defer cancel()
+	if err := s.acquire(ctx); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer s.release()
+	resp, err := s.run(ctx, &q)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// BatchRequest executes several workloads concurrently over the worker
+// pool; the batch shares one deadline.
+type BatchRequest struct {
+	Requests  []ExecuteRequest `json:"requests"`
+	TimeoutMS int              `json:"timeout_ms,omitempty"`
+}
+
+// BatchResponse returns one entry per request, in order; failed entries
+// carry an error instead of a result.
+type BatchResponse struct {
+	Responses []BatchEntry `json:"responses"`
+}
+
+// BatchEntry is one batch result: exactly one of Result and Error is set.
+type BatchEntry struct {
+	Result *ExecuteResponse `json:"result,omitempty"`
+	Error  *ErrorBody       `json:"error,omitempty"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.requests.Add(1)
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	var batch BatchRequest
+	if !s.decode(w, r, &batch) {
+		return
+	}
+	if len(batch.Requests) == 0 {
+		s.writeError(w, &distal.Error{Kind: distal.KindParse, Op: "batch", Err: errors.New("empty batch")})
+		return
+	}
+	if len(batch.Requests) > s.cfg.MaxBatch {
+		s.writeError(w, &distal.Error{Kind: distal.KindParse, Op: "batch",
+			Err: fmt.Errorf("batch of %d exceeds the limit of %d", len(batch.Requests), s.cfg.MaxBatch)})
+		return
+	}
+	ctx, cancel := s.deadlineFor(r.Context(), batch.TimeoutMS)
+	defer cancel()
+
+	out := make([]BatchEntry, len(batch.Requests))
+	var wg sync.WaitGroup
+	for i := range batch.Requests {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q := &batch.Requests[i]
+			if err := s.acquire(ctx); err != nil {
+				body, _ := s.countErr(err)
+				out[i] = BatchEntry{Error: &body}
+				return
+			}
+			defer s.release()
+			resp, err := s.run(ctx, q)
+			if err != nil {
+				body, _ := s.countErr(err)
+				out[i] = BatchEntry{Error: &body}
+				return
+			}
+			out[i] = BatchEntry{Result: resp}
+		}(i)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, BatchResponse{Responses: out})
+}
+
+// StatsResponse is the /v1/stats payload.
+type StatsResponse struct {
+	UptimeS  float64 `json:"uptime_s"`
+	Requests int64   `json:"requests"`
+	Failures int64   `json:"failures"`
+	Inflight int64   `json:"inflight"`
+	Workers  int     `json:"workers"`
+
+	Cache struct {
+		Hits        int64 `json:"hits"`
+		Misses      int64 `json:"misses"`
+		Entries     int   `json:"entries"`
+		MemoEntries int   `json:"memo_entries"`
+	} `json:"cache"`
+	ErrorsByKind map[string]int64 `json:"errors_by_kind,omitempty"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	var resp StatsResponse
+	resp.UptimeS = time.Since(s.start).Seconds()
+	resp.Requests = s.requests.Load()
+	resp.Failures = s.failures.Load()
+	resp.Inflight = s.inflight.Load()
+	resp.Workers = s.cfg.Workers
+	cs := s.sess.CacheStats()
+	resp.Cache.Hits = cs.Hits
+	resp.Cache.Misses = cs.Misses
+	resp.Cache.Entries = cs.Entries
+	resp.Cache.MemoEntries = cs.MemoEntries
+	for kind := distal.KindUnknown; kind <= distal.KindCanceled; kind++ {
+		if n := s.byKind[kind].Load(); n > 0 {
+			if resp.ErrorsByKind == nil {
+				resp.ErrorsByKind = map[string]int64{}
+			}
+			resp.ErrorsByKind[kind.String()] = n
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

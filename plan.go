@@ -1,0 +1,203 @@
+package distal
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"distal/internal/legion"
+	"distal/internal/tensor"
+)
+
+// planData is the immutable payload a Plan wraps and the plan cache stores:
+// the compiled runtime program plus the descriptive metadata a service wants
+// to report (schedule text, concrete index notation, program size). One
+// planData is shared by every Plan handle resolved from the cache; nothing
+// in it is mutated after compilation.
+type planData struct {
+	prog         *legion.Program
+	scheduleText string
+	notation     string
+	output       string // LHS tensor/region name
+	launches     int
+	points       int // total index-launch domain points
+}
+
+func newPlanData(prog *legion.Program, scheduleText, notation, output string) *planData {
+	pd := &planData{
+		prog:         prog,
+		scheduleText: scheduleText,
+		notation:     notation,
+		output:       output,
+		launches:     len(prog.Launches),
+	}
+	for _, l := range prog.Launches {
+		pd.points += l.Domain.Size()
+	}
+	return pd
+}
+
+// CompileStats describes how one Compile call was satisfied.
+type CompileStats struct {
+	// Cached reports the plan was served without running the compiler:
+	// from the plan cache, the request memo, or a shared in-flight compile.
+	Cached bool
+	// Shared reports the plan came from a concurrent identical Compile call
+	// (singleflight): this caller waited for the leader instead of
+	// compiling. Shared implies Cached.
+	Shared bool
+	// CompileTime is the wall time the compiler ran for this call; zero
+	// when Cached.
+	CompileTime time.Duration
+	// Launches and Points are the program's size: index launches and total
+	// launch-domain points.
+	Launches int
+	Points   int
+}
+
+// Plan is an immutable compiled workload: the unit a service compiles once,
+// caches, and executes many times. A Plan never holds data — Simulate walks
+// the task graph under the cost model, and Bind attaches caller-owned
+// tensors per execution — so one Plan is safe for concurrent use from any
+// number of goroutines.
+//
+// The lifecycle is Compile → (Simulate | Bind.Run)*:
+//
+//	plan, err := sess.Compile(ctx, req)
+//	res, err := plan.Simulate(ctx)                  // analysis, no data
+//	res, err := plan.Bind(a, b, c).Run(ctx)        // real execution
+type Plan struct {
+	sess  *Session
+	key   string
+	data  *planData
+	stats CompileStats
+}
+
+// Key returns the plan's cache key: a content hash over statement, shapes,
+// formats, schedule text, and machine (see core.PlanKey). Two requests with
+// equal keys compile to the same program.
+func (p *Plan) Key() string { return p.key }
+
+// ScheduleText returns the plan's schedule in serializable command form.
+func (p *Plan) ScheduleText() string { return p.data.scheduleText }
+
+// Notation returns the concrete index notation of the scheduled statement
+// (the loop structure the compiler lowered, §5.1).
+func (p *Plan) Notation() string { return p.data.notation }
+
+// Stats reports how this Compile call was satisfied and the program's size.
+func (p *Plan) Stats() CompileStats { return p.stats }
+
+// Program exposes the plan's compiled program through the legacy Program
+// handle, for callers still on the pre-Plan execution surface.
+func (p *Plan) Program() *Program { return &Program{P: p.data.prog} }
+
+func (p *Plan) execParams() Params {
+	if p.sess != nil {
+		return p.sess.params
+	}
+	return LassenCPU()
+}
+
+// Simulate executes the plan's task graph without data under the session's
+// cost model (override with WithCostModel), returning simulated time,
+// communication, and memory statistics. It aborts with KindCanceled at the
+// runtime's next cancellation checkpoint once ctx is done.
+func (p *Plan) Simulate(ctx context.Context, opts ...ExecOption) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, wrapErr(KindCanceled, "simulate", err)
+	}
+	res, err := legion.RunContext(ctx, p.data.prog, legion.NewOptions(p.execParams(), opts...))
+	if err != nil {
+		return nil, wrapErr(KindExec, "simulate", err)
+	}
+	return res, nil
+}
+
+// Bind attaches real data to the plan for one or more executions. Every
+// tensor of the statement must be bound with data (allocate with Zero,
+// FillRandom, or Bind), shapes must match the compiled plan, and the
+// binding lives entirely in the returned Binding — the shared plan is not
+// touched, so concurrent executions on different data do not interfere.
+// Binding errors surface at Run.
+func (p *Plan) Bind(tensors ...*Tensor) *Binding {
+	b := &Binding{plan: p, data: map[string]*tensor.Dense{}}
+	regions := map[string][]int{}
+	for _, r := range p.data.prog.Regions {
+		regions[r.Name] = r.Shape
+	}
+	for _, t := range tensors {
+		shape, ok := regions[t.Name]
+		if !ok {
+			b.err = wrapErr(KindExec, "bind", fmt.Errorf("plan has no tensor %s", t.Name))
+			return b
+		}
+		if t.Data == nil {
+			b.err = wrapErr(KindExec, "bind", fmt.Errorf("tensor %s has no data (use Zero, FillRandom, or Bind)", t.Name))
+			return b
+		}
+		if len(t.Shape) != len(shape) {
+			b.err = wrapErr(KindExec, "bind", fmt.Errorf("tensor %s has rank %d, plan wants %d", t.Name, len(t.Shape), len(shape)))
+			return b
+		}
+		for d := range shape {
+			if t.Shape[d] != shape[d] {
+				b.err = wrapErr(KindExec, "bind", fmt.Errorf("tensor %s has shape %v, plan wants %v", t.Name, t.Shape, shape))
+				return b
+			}
+		}
+		b.data[t.Name] = t.Data
+		if t.Name == p.data.output {
+			b.out = t
+		}
+	}
+	for name := range regions {
+		if _, ok := b.data[name]; !ok {
+			b.err = wrapErr(KindExec, "bind", fmt.Errorf("no data bound for tensor %s", name))
+			return b
+		}
+	}
+	return b
+}
+
+// Binding is a Plan with real data attached: the executable form of one
+// Real-mode workload. A Binding is cheap; make one per data set.
+type Binding struct {
+	plan *Plan
+	data map[string]*tensor.Dense
+	out  *Tensor
+	err  error
+}
+
+// Output returns the bound output tensor (after Run it holds the result),
+// or nil when the binding failed.
+func (b *Binding) Output() *Tensor {
+	if b.err != nil {
+		return nil
+	}
+	return b.out
+}
+
+// Run executes the plan on the bound data and returns the simulated timing
+// alongside: leaf kernels compute on the tensors, reductions flush into the
+// output, and the task graph is priced under the session's cost model. It
+// aborts with KindCanceled at the runtime's next checkpoint once ctx is
+// done (the bound output is then in an unspecified partial state).
+func (b *Binding) Run(ctx context.Context, opts ...ExecOption) (*Result, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, wrapErr(KindCanceled, "run", err)
+	}
+	mods := append([]ExecOption{WithReal(), legion.WithData(b.data)}, opts...)
+	res, err := legion.RunContext(ctx, b.plan.data.prog, legion.NewOptions(b.plan.execParams(), mods...))
+	if err != nil {
+		return nil, wrapErr(KindExec, "run", err)
+	}
+	return res, nil
+}
+
+// WithCostModel overrides the cost model of one execution (the session's
+// default otherwise).
+func WithCostModel(p Params) ExecOption { return legion.WithParams(p) }

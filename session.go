@@ -2,10 +2,12 @@ package distal
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"distal/internal/cin"
 	"distal/internal/core"
@@ -17,13 +19,14 @@ import (
 // Session is the long-lived entry point of the compile/execute API: it owns
 // a target machine, default simulation parameters, and an LRU cache of
 // compiled plans. A service compiles a workload once and executes it many
-// times; repeated Define+Compile of the same (statement, shapes, formats,
-// schedule) returns the cached plan, and a cached *Program is safe for
-// concurrent Simulate calls.
+// times; repeated Compile of the same (statement, shapes, formats,
+// schedule) returns the cached plan, concurrent identical Compile calls
+// share one compilation (singleflight), and a cached Plan is safe for
+// concurrent Simulate and Bind.Run calls.
 //
-// Plans holding real data are never cached: a plan describes a task graph,
-// not the values flowing through it, and Real-mode execution mutates bound
-// tensors.
+// Plans never hold data: a plan describes a task graph, not the values
+// flowing through it. Real-mode execution binds data per call through
+// Plan.Bind, so cached plans serve simulation and real execution alike.
 type Session struct {
 	machine *Machine
 	params  Params
@@ -35,16 +38,36 @@ type Session struct {
 	hits     int64
 	misses   int64
 
-	// reqMemo maps a canonical rendering of a Request to its plan key, so a
-	// repeated Execute of the same request skips statement parsing, tensor
-	// construction, and schedule replay entirely. It is a memo over the plan
-	// cache, not a second cache: programs live only under plan keys.
-	reqMemo map[string]string
+	// Request memo: canonical request rendering -> plan key, an LRU bounded
+	// at memoCapacity whose entries also die with the plan they point at
+	// (plan-cache eviction removes them via byPlan). A memo hit skips
+	// statement parsing, tensor construction, and schedule replay entirely.
+	memoCapacity int
+	memoLRU      *list.List // of *memoEntry, front = most recent
+	memo         map[string]*list.Element
+	byPlan       map[string][]string // plan key -> canonical requests memoized to it
+
+	// flights collapses concurrent identical compiles: the first caller of
+	// a canonical request compiles, later callers arriving before it
+	// finishes wait and share the result (exactly one cache miss).
+	flights map[string]*flight
 }
 
 type planEntry struct {
 	key  string
-	prog *legion.Program
+	data *planData
+}
+
+type memoEntry struct {
+	ck      string
+	planKey string
+}
+
+type flight struct {
+	done chan struct{}
+	key  string
+	data *planData
+	err  error
 }
 
 // DefaultPlanCacheSize is the plan-cache capacity of new sessions.
@@ -54,26 +77,31 @@ const DefaultPlanCacheSize = 128
 type SessionOption func(*Session)
 
 // WithParams sets the session's default cost model (used by Execute and as
-// the default for Program.Simulate through this session). The zero default
-// is LassenCPU.
+// the default for Plan.Simulate through this session). The zero default is
+// LassenCPU.
 func WithParams(p Params) SessionOption {
 	return func(s *Session) { s.params = p }
 }
 
-// WithPlanCacheSize sets the plan cache capacity; 0 disables caching.
+// WithPlanCacheSize sets the plan cache capacity; 0 disables caching (and
+// the request memo with it).
 func WithPlanCacheSize(n int) SessionOption {
-	return func(s *Session) { s.capacity = n }
+	return func(s *Session) { s.capacity = n; s.memoCapacity = 4 * n }
 }
 
 // NewSession creates a session over the machine.
 func NewSession(m *Machine, opts ...SessionOption) *Session {
 	s := &Session{
-		machine:  m,
-		params:   LassenCPU(),
-		capacity: DefaultPlanCacheSize,
-		lru:      list.New(),
-		plans:    map[string]*list.Element{},
-		reqMemo:  map[string]string{},
+		machine:      m,
+		params:       LassenCPU(),
+		capacity:     DefaultPlanCacheSize,
+		memoCapacity: 4 * DefaultPlanCacheSize,
+		lru:          list.New(),
+		plans:        map[string]*list.Element{},
+		memoLRU:      list.New(),
+		memo:         map[string]*list.Element{},
+		byPlan:       map[string][]string{},
+		flights:      map[string]*flight{},
 	}
 	for _, o := range opts {
 		o(s)
@@ -89,32 +117,27 @@ func (s *Session) Params() Params { return s.params }
 
 // CacheStats summarizes plan-cache effectiveness.
 type CacheStats struct {
-	Hits    int64
-	Misses  int64
+	// Hits counts Compile calls served without running the compiler (plan
+	// cache, request memo, or a shared in-flight compile).
+	Hits int64
+	// Misses counts Compile calls that ran the compiler.
+	Misses int64
+	// Entries is the number of cached plans.
 	Entries int
+	// MemoEntries is the number of canonical requests memoized to plan keys.
+	MemoEntries int
 }
 
 // CacheStats returns a snapshot of the plan cache counters.
 func (s *Session) CacheStats() CacheStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return CacheStats{Hits: s.hits, Misses: s.misses, Entries: s.lru.Len()}
+	return CacheStats{Hits: s.hits, Misses: s.misses, Entries: s.lru.Len(), MemoEntries: s.memoLRU.Len()}
 }
 
 // lookup returns the cached plan for key, promoting it to most recent. A
 // miss is counted (the caller is about to compile).
-func (s *Session) lookup(key string) *legion.Program {
-	return s.find(key, true)
-}
-
-// peek is lookup without counting a miss: used when probing via the request
-// memo, where a miss falls through to the ordinary compile path (which
-// counts it exactly once).
-func (s *Session) peek(key string) *legion.Program {
-	return s.find(key, false)
-}
-
-func (s *Session) find(key string, countMiss bool) *legion.Program {
+func (s *Session) lookup(key string) *planData {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.capacity <= 0 {
@@ -122,18 +145,18 @@ func (s *Session) find(key string, countMiss bool) *legion.Program {
 	}
 	el, ok := s.plans[key]
 	if !ok {
-		if countMiss {
-			s.misses++
-		}
+		s.misses++
 		return nil
 	}
 	s.hits++
 	s.lru.MoveToFront(el)
-	return el.Value.(*planEntry).prog
+	return el.Value.(*planEntry).data
 }
 
 // store inserts a plan, evicting the least recently used beyond capacity.
-func (s *Session) store(key string, prog *legion.Program) {
+// Memo entries pointing at an evicted plan are dropped with it: the memo is
+// a view over the plan cache, never a second cache.
+func (s *Session) store(key string, data *planData) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.capacity <= 0 {
@@ -141,15 +164,83 @@ func (s *Session) store(key string, prog *legion.Program) {
 	}
 	if el, ok := s.plans[key]; ok {
 		s.lru.MoveToFront(el)
-		el.Value.(*planEntry).prog = prog
+		el.Value.(*planEntry).data = data
 		return
 	}
-	s.plans[key] = s.lru.PushFront(&planEntry{key: key, prog: prog})
+	s.plans[key] = s.lru.PushFront(&planEntry{key: key, data: data})
 	for s.lru.Len() > s.capacity {
 		last := s.lru.Back()
 		s.lru.Remove(last)
-		delete(s.plans, last.Value.(*planEntry).key)
+		evicted := last.Value.(*planEntry).key
+		delete(s.plans, evicted)
+		for _, ck := range s.byPlan[evicted] {
+			if mel, ok := s.memo[ck]; ok {
+				s.memoLRU.Remove(mel)
+				delete(s.memo, ck)
+			}
+		}
+		delete(s.byPlan, evicted)
 	}
+}
+
+// memoize records ck -> planKey under the memo's own LRU bound. Caller must
+// not hold s.mu.
+func (s *Session) memoize(ck, planKey string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.capacity <= 0 || s.memoCapacity <= 0 {
+		return
+	}
+	if el, ok := s.memo[ck]; ok {
+		el.Value.(*memoEntry).planKey = planKey
+		s.memoLRU.MoveToFront(el)
+		return
+	}
+	s.memo[ck] = s.memoLRU.PushFront(&memoEntry{ck: ck, planKey: planKey})
+	s.byPlan[planKey] = append(s.byPlan[planKey], ck)
+	for s.memoLRU.Len() > s.memoCapacity {
+		last := s.memoLRU.Back()
+		s.memoLRU.Remove(last)
+		me := last.Value.(*memoEntry)
+		delete(s.memo, me.ck)
+		if cks := s.byPlan[me.planKey]; len(cks) > 0 {
+			for i, ck2 := range cks {
+				if ck2 == me.ck {
+					s.byPlan[me.planKey] = append(cks[:i], cks[i+1:]...)
+					break
+				}
+			}
+			if len(s.byPlan[me.planKey]) == 0 {
+				delete(s.byPlan, me.planKey)
+			}
+		}
+	}
+}
+
+// memoLookup resolves a canonical request through the memo and the plan
+// cache in one critical section; it returns the plan data and key on a hit
+// (counting a hit) and nil on any miss (counting nothing — the compile path
+// counts the miss exactly once).
+func (s *Session) memoLookup(ck string) (*planData, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.memo[ck]
+	if !ok {
+		return nil, ""
+	}
+	me := el.Value.(*memoEntry)
+	pe, ok := s.plans[me.planKey]
+	if !ok {
+		// The plan was evicted out from under the memo entry (possible only
+		// via a concurrent eviction racing this lookup): drop the entry.
+		s.memoLRU.Remove(el)
+		delete(s.memo, ck)
+		return nil, ""
+	}
+	s.hits++
+	s.lru.MoveToFront(pe)
+	s.memoLRU.MoveToFront(el)
+	return pe.Value.(*planEntry).data, me.planKey
 }
 
 // Define parses the statement and binds the named tensors against the
@@ -173,12 +264,11 @@ func (s *Session) MustDefine(expr string, tensors ...*Tensor) *Computation {
 	return c
 }
 
-// Request is one compile-and-execute job in pure data form — everything a
-// server, CLI, or stored workload needs to name a computation: the
-// statement, tensor shapes, tensor formats as distribution notation text,
-// and the schedule as scheduling-command text. Requests are
-// simulation-shaped (no data is materialized); bind real data through
-// Session.Define and Program.Run instead.
+// Request is one compile job in pure data form — everything a server, CLI,
+// or stored workload needs to name a computation: the statement, tensor
+// shapes, tensor formats as distribution notation text, and the schedule as
+// scheduling-command text. Requests are data-free; bind real data to the
+// compiled plan through Plan.Bind.
 type Request struct {
 	// Stmt is the tensor index notation statement,
 	// e.g. "A(i,j) = B(i,k) * C(k,j)".
@@ -195,11 +285,13 @@ type Request struct {
 	Schedule string
 }
 
-// buildComputation turns a request into a schedulable computation.
+// buildComputation turns a request into a schedulable computation,
+// classifying failures: request validation and statement/format parsing are
+// KindParse, schedule parsing/application is KindSchedule.
 func (s *Session) buildComputation(req Request) (*Computation, error) {
 	stmt, err := ir.Parse(req.Stmt)
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(KindParse, "compile", err)
 	}
 	// Reject keys that name no tensor of the statement: in a pure-data wire
 	// format a typo'd name would otherwise silently fall back to defaults.
@@ -209,29 +301,29 @@ func (s *Session) buildComputation(req Request) (*Computation, error) {
 	}
 	for key := range req.Shapes {
 		if !named[key] {
-			return nil, fmt.Errorf("distal: request Shapes names %s, which is not a tensor of %q", key, req.Stmt)
+			return nil, wrapErr(KindParse, "compile", fmt.Errorf("request Shapes names %s, which is not a tensor of %q", key, req.Stmt))
 		}
 	}
 	for key := range req.Formats {
 		if !named[key] {
-			return nil, fmt.Errorf("distal: request Formats names %s, which is not a tensor of %q", key, req.Stmt)
+			return nil, wrapErr(KindParse, "compile", fmt.Errorf("request Formats names %s, which is not a tensor of %q", key, req.Stmt))
 		}
 	}
 	var tensors []*Tensor
 	for _, name := range stmt.TensorNames() {
 		shape, ok := req.Shapes[name]
 		if !ok {
-			return nil, fmt.Errorf("distal: request has no shape for tensor %s", name)
+			return nil, wrapErr(KindParse, "compile", fmt.Errorf("request has no shape for tensor %s", name))
 		}
 		var f Format
 		if src, ok := req.Formats[name]; ok {
 			f, err = ParseFormat(src)
 			if err != nil {
-				return nil, fmt.Errorf("distal: tensor %s: %w", name, err)
+				return nil, wrapErr(KindParse, "compile", fmt.Errorf("tensor %s: %w", name, err))
 			}
 		} else {
 			if len(shape) > 6 {
-				return nil, fmt.Errorf("distal: tensor %s has rank %d; the default tiling supports ranks up to 6 (give a Formats entry)", name, len(shape))
+				return nil, wrapErr(KindParse, "compile", fmt.Errorf("tensor %s has rank %d; the default tiling supports ranks up to 6 (give a Formats entry)", name, len(shape)))
 			}
 			f = Tiled(len(shape))
 		}
@@ -239,14 +331,14 @@ func (s *Session) buildComputation(req Request) (*Computation, error) {
 	}
 	c, err := s.Define(req.Stmt, tensors...)
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(KindParse, "compile", err)
 	}
 	if req.Schedule == "" {
 		if err := c.AutoSchedule(); err != nil {
-			return nil, err
+			return nil, wrapErr(KindSchedule, "compile", err)
 		}
 	} else if err := c.ApplySchedule(req.Schedule); err != nil {
-		return nil, err
+		return nil, wrapErr(KindSchedule, "compile", err)
 	}
 	return c, nil
 }
@@ -256,8 +348,8 @@ func (s *Session) buildComputation(req Request) (*Computation, error) {
 // boundaries inside a field value and collide (maps are rendered sorted and
 // in full — an entry buildComputation would reject must not canonicalize to
 // the same string as a request without it). Given a fixed session machine
-// the rendering fully determines the compile input, so it can memoize the
-// plan key.
+// the rendering fully determines the compile input, so it keys both the
+// request memo and the singleflight table.
 func canonicalRequest(req Request) string {
 	var b strings.Builder
 	frame := func(fields ...string) {
@@ -286,48 +378,121 @@ func canonicalRequest(req Request) string {
 	return b.String()
 }
 
-// Compile compiles a request through the plan cache without executing it. A
-// request seen before resolves through a memo: the plan is returned without
-// re-parsing the statement or replaying the schedule.
-func (s *Session) Compile(req Request) (*Program, error) {
-	ck := canonicalRequest(req)
-	s.mu.Lock()
-	key, memoized := s.reqMemo[ck]
-	s.mu.Unlock()
-	if memoized {
-		if p := s.peek(key); p != nil {
-			return &Program{P: p}, nil
-		}
+// Compile compiles a request into an immutable Plan through the plan cache.
+//
+// A request seen before resolves through the request memo without
+// re-parsing the statement or replaying the schedule; concurrent identical
+// requests compile once and share the result (singleflight). Cancellation
+// of ctx aborts the compile at the materializer's next checkpoint and
+// returns an error of KindCanceled; waiters whose own context is alive when
+// the compiling leader is canceled retry instead of inheriting the
+// leader's cancellation.
+func (s *Session) Compile(ctx context.Context, req Request) (*Plan, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, wrapErr(KindCanceled, "compile", err)
 	}
+	ck := canonicalRequest(req)
+	for {
+		if pd, key := s.memoLookup(ck); pd != nil {
+			return &Plan{sess: s, key: key, data: pd, stats: cachedStats(pd, false)}, nil
+		}
+		s.mu.Lock()
+		if fl, ok := s.flights[ck]; ok {
+			s.mu.Unlock()
+			select {
+			case <-ctx.Done():
+				return nil, wrapErr(KindCanceled, "compile", ctx.Err())
+			case <-fl.done:
+			}
+			if fl.err != nil {
+				if KindOf(fl.err) == KindCanceled && ctx.Err() == nil {
+					continue // the leader was canceled, not us: retry
+				}
+				return nil, fl.err
+			}
+			s.mu.Lock()
+			s.hits++ // served by the shared flight: no compile ran for us
+			s.mu.Unlock()
+			return &Plan{sess: s, key: fl.key, data: fl.data, stats: cachedStats(fl.data, true)}, nil
+		}
+		fl := &flight{done: make(chan struct{})}
+		s.flights[ck] = fl
+		s.mu.Unlock()
+
+		return s.lead(ctx, ck, req, fl)
+	}
+}
+
+// lead runs the compile as a flight's leader, guaranteeing — even on a
+// compiler panic — that the flight is removed and its done channel closed,
+// so waiters can never block on a dead flight.
+func (s *Session) lead(ctx context.Context, ck string, req Request, fl *flight) (plan *Plan, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			fl.err = fmt.Errorf("distal: compile panicked: %v", r)
+			plan, err = nil, fl.err
+		}
+		s.mu.Lock()
+		delete(s.flights, ck)
+		s.mu.Unlock()
+		close(fl.done)
+	}()
+	plan, err = s.compileRequest(ctx, ck, req)
+	if plan != nil {
+		fl.key, fl.data = plan.key, plan.data
+	}
+	fl.err = err
+	return plan, err
+}
+
+func cachedStats(pd *planData, shared bool) CompileStats {
+	return CompileStats{Cached: true, Shared: shared, Launches: pd.launches, Points: pd.points}
+}
+
+// compileRequest is the slow path of Compile: build the computation, check
+// the plan cache under the content key, and run the compiler on a miss.
+func (s *Session) compileRequest(ctx context.Context, ck string, req Request) (*Plan, error) {
 	c, err := s.buildComputation(req)
 	if err != nil {
 		return nil, err
 	}
-	prog, planKey, err := c.compile()
+	in := c.compileInput()
+	key := core.PlanKey(in)
+	if pd := s.lookup(key); pd != nil {
+		// Same program under a different request rendering (e.g. explicit
+		// vs. defaulted formats): memoize this rendering too.
+		s.memoize(ck, key)
+		return &Plan{sess: s, key: key, data: pd, stats: cachedStats(pd, false)}, nil
+	}
+	start := time.Now()
+	prog, err := core.CompileContext(ctx, in)
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(KindCompile, "compile", err)
 	}
-	if planKey != "" && s.capacity > 0 {
-		s.mu.Lock()
-		if len(s.reqMemo) >= 4*s.capacity {
-			s.reqMemo = map[string]string{} // crude bound; entries are cheap to rebuild
-		}
-		s.reqMemo[ck] = planKey
-		s.mu.Unlock()
-	}
-	return prog, nil
+	pd := c.newPlanData(prog)
+	s.store(key, pd)
+	s.memoize(ck, key)
+	stats := CompileStats{CompileTime: time.Since(start), Launches: pd.launches, Points: pd.points}
+	return &Plan{sess: s, key: key, data: pd, stats: stats}, nil
 }
 
-// Execute is the single entry point a server or CLI needs: it compiles the
-// request (hitting the plan cache when the same workload was compiled
-// before) and simulates it under the session's cost model. Execution
-// modifiers (tracing, synchronous mode, ...) apply to this call only.
+// Execute is the one-call convenience a CLI needs: Compile followed by
+// Simulate under a background context. Services should prefer Compile and
+// Plan.Simulate with a real context.
 func (s *Session) Execute(req Request, opts ...ExecOption) (*Result, error) {
-	prog, err := s.Compile(req)
+	return s.ExecuteContext(context.Background(), req, opts...)
+}
+
+// ExecuteContext compiles the request (hitting the plan cache when the same
+// workload was compiled before) and simulates it under the session's cost
+// model, honoring ctx through both phases. Execution modifiers (tracing,
+// synchronous mode, ...) apply to this call only.
+func (s *Session) ExecuteContext(ctx context.Context, req Request, opts ...ExecOption) (*Result, error) {
+	plan, err := s.Compile(ctx, req)
 	if err != nil {
 		return nil, err
 	}
-	return prog.Execute(s.params, opts...)
+	return plan.Simulate(ctx, opts...)
 }
 
 // Redistribute builds (through the plan cache) a program that moves tensor
@@ -351,9 +516,11 @@ func (s *Session) RedistributeCost(t *Tensor, dst Format) (bytes int64, seconds 
 	return res.IntraBytes + res.InterBytes, res.Time, nil
 }
 
-// cacheable reports whether the computation's plan may be cached and
-// returns its canonical key. Computations with bound data are not cached:
-// the plan would capture the data reference and Real execution mutates it.
+// cacheable reports whether the computation's plan may be cached.
+// Computations with data bound at Define time are not: their regions
+// capture the data reference at compile, so a shared plan would alias it.
+// (Request-compiled plans are always data-free; they run on real data via
+// Plan.Bind, which binds per execution instead.)
 func (c *Computation) cacheable() bool {
 	for _, name := range c.Stmt.TensorNames() {
 		if c.tensors[name].Data != nil {
@@ -381,6 +548,12 @@ func (c *Computation) compileInput() core.Input {
 		Tensors:  decls,
 		Schedule: c.sched,
 	}
+}
+
+// newPlanData wraps a freshly compiled program with this computation's
+// descriptive metadata for caching.
+func (c *Computation) newPlanData(prog *legion.Program) *planData {
+	return newPlanData(prog, c.sched.String(), cin.Build(c.sched).String(), c.Stmt.LHS.Tensor)
 }
 
 // Notation returns the concrete index notation of the scheduled statement

@@ -1,6 +1,7 @@
 package distal
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -90,8 +91,7 @@ func TestSessionExecuteErrors(t *testing.T) {
 
 // TestSessionRequestMemo: a repeated request resolves through the request
 // memo — no statement re-parse — and still reports plan-cache hits; results
-// stay identical, and the memoized program (which has no bound
-// computation) reports a nil Output.
+// stay identical, and the memo-resolved plan reports itself as cached.
 func TestSessionRequestMemo(t *testing.T) {
 	sess := NewSession(NewMachine(CPU, 2, 2))
 	req := gemmRequest(64)
@@ -99,14 +99,17 @@ func TestSessionRequestMemo(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog, err := sess.Compile(req) // memo path
+	plan, err := sess.Compile(context.Background(), req) // memo path
 	if err != nil {
 		t.Fatal(err)
 	}
-	if prog.Output() != nil {
-		t.Fatal("memo-resolved program should have no bound output tensor")
+	if !plan.Stats().Cached {
+		t.Fatal("second compile of an identical request should resolve from the cache")
 	}
-	again, err := prog.Simulate(sess.Params())
+	if plan.Key() == "" || plan.ScheduleText() == "" || plan.Notation() == "" {
+		t.Fatalf("memo-resolved plan lost metadata: key=%q sched=%q notation=%q", plan.Key(), plan.ScheduleText(), plan.Notation())
+	}
+	again, err := plan.Simulate(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,24 +316,28 @@ func TestSessionRedistribute(t *testing.T) {
 	}
 }
 
-func TestProgramExecuteOptions(t *testing.T) {
+func TestPlanExecuteOptions(t *testing.T) {
+	ctx := context.Background()
 	sess := NewSession(NewMachine(CPU, 2, 2))
-	prog, err := sess.Compile(gemmRequest(64))
+	plan, err := sess.Compile(ctx, gemmRequest(64))
 	if err != nil {
 		t.Fatal(err)
 	}
-	traced, err := prog.Execute(LassenCPU(), WithTrace())
+	if st := plan.Stats(); st.Cached || st.Launches == 0 || st.Points == 0 {
+		t.Fatalf("implausible compile stats: %+v", st)
+	}
+	traced, err := plan.Simulate(ctx, WithTrace())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(traced.Trace) == 0 {
 		t.Fatal("WithTrace produced no trace records")
 	}
-	sync1, err := prog.Execute(LassenCPU(), WithSynchronous())
+	sync1, err := plan.Simulate(ctx, WithSynchronous())
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain, err := prog.Simulate(LassenCPU())
+	plain, err := plan.Simulate(ctx, WithCostModel(LassenCPU()))
 	if err != nil {
 		t.Fatal(err)
 	}
