@@ -1,4 +1,4 @@
-package distal
+package distal_test
 
 // Benchmarks regenerating the paper's evaluation (§7). One benchmark per
 // table/figure drives the same code paths as cmd/distal-bench at a

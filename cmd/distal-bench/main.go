@@ -11,6 +11,9 @@
 //	distal-bench -exp summary       # headline speedups (§1/§7)
 //	distal-bench -exp plancache     # session plan-cache cold/warm comparison
 //	distal-bench -exp metrics       # machine-readable workload metrics table
+//	distal-bench -exp tune          # auto-tune the five example workloads and
+//	                                # verify the winner matches or beats
+//	                                # AutoSchedule (see -tune-budget)
 //	distal-bench -nodes 256         # maximum node count (power of two)
 //	distal-bench -json out.json     # also write the metrics as JSON
 package main
@@ -27,8 +30,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig15a, fig15b, fig16, fig9, summary, plancache, metrics")
+	exp := flag.String("exp", "all", "experiment: all, fig15a, fig15b, fig16, fig9, summary, plancache, metrics, tune")
 	nodes := flag.Int("nodes", 256, "maximum node count (power of two)")
+	tuneBudget := flag.Int("tune-budget", 48, "candidate budget per workload for -exp tune")
+	tuneSeed := flag.Int64("tune-seed", 0, "sampling seed for -exp tune")
 	jsonPath := flag.String("json", "", "write the metrics experiment (GFLOP/s, makespan, copies, bytes) and hot-path timings to this file as JSON")
 	diffPath := flag.String("diff", "", "compare the metrics sweep against this baseline JSON (e.g. BENCH_PR2.json) and exit non-zero on regression")
 	tol := flag.Float64("tol", 0.20, "regression tolerance for -diff on simulated makespans, as a fraction (0.20 = 20%)")
@@ -46,6 +51,10 @@ func main() {
 		// figure regeneration is not needed to record or gate a trajectory
 		// point.
 		*exp = "metrics"
+	}
+	if *exp == "tune" {
+		fail(tuneExamples(*tuneBudget, *tuneSeed))
+		return
 	}
 	if *exp != "metrics" {
 		fail(run(*exp, *nodes))
@@ -165,6 +174,18 @@ func run(exp string, nodes int) error {
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
+}
+
+// tuneExamples auto-tunes the five example workloads, prints the
+// leaderboard summary, and fails when any winner is worse than the
+// AutoSchedule baseline — the guarantee CI's tuner smoke step leans on.
+func tuneExamples(budget int, seed int64) error {
+	rows, err := experiments.TuneExamples(budget, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.RenderTune(rows))
+	return experiments.VerifyTune(rows)
 }
 
 // planCache measures what the session's plan cache buys a serving workload:

@@ -331,7 +331,9 @@ type Program struct {
 // Compile lowers the computation to a Legion program. When the computation
 // was created through a Session and no tensor has data bound, the session's
 // plan cache is consulted first: a hit returns the previously compiled plan
-// without re-running the compiler.
+// without re-running the compiler, and concurrent identical compiles —
+// fluent computations included — collapse into one through the session's
+// singleflight table (keyed by plan key).
 func (c *Computation) Compile() (*Program, error) {
 	prog, _, err := c.compile()
 	return prog, err
@@ -341,21 +343,25 @@ func (c *Computation) Compile() (*Program, error) {
 // ("" when the computation does not participate in caching).
 func (c *Computation) compile() (*Program, string, error) {
 	in := c.compileInput()
-	key := ""
-	if c.sess != nil && c.cacheable() {
-		key = core.PlanKey(in)
-		if pd := c.sess.lookup(key); pd != nil {
-			return &Program{P: pd.prog, c: c}, key, nil
+	if c.sess == nil || !c.cacheable() {
+		p, err := core.Compile(in)
+		if err != nil {
+			return nil, "", err
 		}
+		return &Program{P: p, c: c}, "", nil
 	}
-	p, err := core.Compile(in)
+	key := core.PlanKey(in)
+	pd, err := c.sess.flightCompile(key, func() (*planData, error) {
+		p, err := core.Compile(in)
+		if err != nil {
+			return nil, err
+		}
+		return c.newPlanData(p), nil
+	})
 	if err != nil {
 		return nil, "", err
 	}
-	if key != "" {
-		c.sess.store(key, c.newPlanData(p))
-	}
-	return &Program{P: p, c: c}, key, nil
+	return &Program{P: pd.prog, c: c}, key, nil
 }
 
 // Result re-exports the runtime's execution summary.

@@ -87,10 +87,16 @@ type instance struct {
 }
 
 // transGroup is the set of live transient instances sharing one rect.
-// Grouping makes ensureLocal's candidate search scan distinct rects rather
-// than every instance; installation order is restored from instance.seq.
+// Grouping makes ensureLocal's candidate search consider distinct rects
+// rather than every instance; installation order is restored from
+// instance.seq. A group lives exactly as long as it has instances: it is
+// indexed by rect key (exact-match candidates) and by volume bucket
+// (strict-containment candidates), and idx is its position in the bucket
+// for O(1) removal.
 type transGroup struct {
 	rect  tensor.Rect
+	vol   int64
+	idx   int
 	insts []*instance
 }
 
@@ -100,11 +106,18 @@ type regState struct {
 	perLeaf    map[int][]*instance // all live instances by leaf
 	transFIFO  map[int][]*instance // per-leaf eviction order
 
-	// Live transient instances indexed by rect. transGroups has no
-	// meaningful order (empty groups are swap-removed); candidate order
-	// comes from instance.seq.
-	transGroups []*transGroup
-	transByKey  map[tensor.RectKey]*transGroup
+	// Live transient instances grouped by rect, rect-keyed two ways so the
+	// candidate search never scans the whole group population:
+	// transByKey[k] is the group whose rect IS k (the exact-match
+	// candidates, one map hit), and volBuckets[v] holds the groups of
+	// volume v — only buckets of strictly larger volume can strictly
+	// contain a requirement rect (equal-volume containment implies
+	// equality), and in tiled workloads every transient shares the
+	// requirement's volume, so the strict scan is empty. volumes lists the
+	// occupied bucket volumes ascending.
+	transByKey map[tensor.RectKey]*transGroup
+	volBuckets map[int64][]*transGroup
+	volumes    []int64
 
 	// cover indexes the persistent instances by requirement rect: the
 	// (immutable) candidate list of owners fully containing that rect.
@@ -289,6 +302,7 @@ func (e *executor) placeInitial() error {
 			perLeaf:    map[int][]*instance{},
 			transFIFO:  map[int][]*instance{},
 			transByKey: map[tensor.RectKey]*transGroup{},
+			volBuckets: map[int64][]*transGroup{},
 			cover:      map[tensor.RectKey][]*instance{},
 			pieces:     map[tensor.RectKey][]ownerPiece{},
 		}
@@ -395,22 +409,34 @@ func (e *executor) runLaunch(l *Launch) error {
 // returns the time at which it is valid there.
 func (e *executor) ensureLocal(l *Launch, point []int, q Req, leaf int, issueAt float64) (float64, error) {
 	rs := e.reg[q.Region]
-	// Fast path: an instance on this leaf already covers the rect.
+	// Fast path: an instance on this leaf already covers the rect. The
+	// per-leaf population is small (the persistent owner plus at most
+	// TransientWindow transients), so the scan beats any keyed memo here;
+	// the expensive part was always the cross-leaf candidate search below.
+	qk := q.rectKey()
 	for _, inst := range rs.perLeaf[leaf] {
 		if inst.live && inst.rect.ContainsRect(q.Rect) {
 			return maxf(inst.validAt, issueAt), nil
 		}
 	}
 	// Gather candidate source instances that fully contain the rect:
-	// persistent owners via the rect index, then live transients (scanning
-	// distinct rects, not instances; re-sorted into installation order so
-	// the source selection is identical to an exhaustive ordered scan).
-	candidates := append(e.candBuf[:0], rs.coverFor(q.rectKey(), q.Rect)...)
+	// persistent owners via the rect index, then live transients — the
+	// exact-rect group by key, plus groups from strictly-larger volume
+	// buckets (the only ones that can strictly contain the rect; none in
+	// pure tilings). Candidates re-sort into installation order, so the
+	// source selection is identical to an exhaustive ordered scan.
+	candidates := append(e.candBuf[:0], rs.coverFor(qk, q.Rect)...)
 	if !e.opt.OwnerOnly {
 		base := len(candidates)
-		for _, g := range rs.transGroups {
-			if g.rect.ContainsRect(q.Rect) {
-				candidates = append(candidates, g.insts...)
+		if g := rs.transByKey[qk]; g != nil {
+			candidates = append(candidates, g.insts...)
+		}
+		qvol := int64(q.Rect.Volume())
+		for i := len(rs.volumes) - 1; i >= 0 && rs.volumes[i] > qvol; i-- {
+			for _, g := range rs.volBuckets[rs.volumes[i]] {
+				if g.rect.ContainsRect(q.Rect) {
+					candidates = append(candidates, g.insts...)
+				}
 			}
 		}
 		tail := candidates[base:]
@@ -500,9 +526,9 @@ func (e *executor) installTransient(rs *regState, leaf int, rect tensor.Rect, ke
 	rs.perLeaf[leaf] = append(rs.perLeaf[leaf], inst)
 	g := rs.transByKey[inst.key]
 	if g == nil {
-		g = &transGroup{rect: rect}
+		g = &transGroup{rect: rect, vol: int64(rect.Volume())}
 		rs.transByKey[inst.key] = g
-		rs.transGroups = append(rs.transGroups, g)
+		rs.addToBucket(g)
 	}
 	g.insts = append(g.insts, inst)
 	rs.transFIFO[leaf] = append(rs.transFIFO[leaf], inst)
@@ -517,17 +543,42 @@ func (e *executor) installTransient(rs *regState, leaf int, rect tensor.Rect, ke
 		og.insts = removeInst(og.insts, old)
 		if len(og.insts) == 0 {
 			delete(rs.transByKey, old.key)
-			for i, gg := range rs.transGroups {
-				if gg == og {
-					last := len(rs.transGroups) - 1
-					rs.transGroups[i] = rs.transGroups[last]
-					rs.transGroups[last] = nil
-					rs.transGroups = rs.transGroups[:last]
-					break
-				}
-			}
+			rs.dropFromBucket(og)
 		}
 	}
+}
+
+// addToBucket registers a new group in its volume bucket, opening the
+// bucket (and recording its volume in the sorted volume list) if needed.
+func (rs *regState) addToBucket(g *transGroup) {
+	b := rs.volBuckets[g.vol]
+	if b == nil {
+		i := sort.Search(len(rs.volumes), func(i int) bool { return rs.volumes[i] >= g.vol })
+		rs.volumes = append(rs.volumes, 0)
+		copy(rs.volumes[i+1:], rs.volumes[i:])
+		rs.volumes[i] = g.vol
+	}
+	g.idx = len(b)
+	rs.volBuckets[g.vol] = append(b, g)
+}
+
+// dropFromBucket removes an emptied group from its volume bucket
+// (swap-remove via the group's stored index), closing the bucket when it
+// was the last group of that volume.
+func (rs *regState) dropFromBucket(g *transGroup) {
+	b := rs.volBuckets[g.vol]
+	last := len(b) - 1
+	b[g.idx] = b[last]
+	b[g.idx].idx = g.idx
+	b[last] = nil
+	b = b[:last]
+	if len(b) == 0 {
+		delete(rs.volBuckets, g.vol)
+		i := sort.Search(len(rs.volumes), func(i int) bool { return rs.volumes[i] >= g.vol })
+		rs.volumes = append(rs.volumes[:i], rs.volumes[i+1:]...)
+		return
+	}
+	rs.volBuckets[g.vol] = b
 }
 
 func removeInst(s []*instance, x *instance) []*instance {

@@ -111,3 +111,43 @@ func TestTransientWindowRefetch(t *testing.T) {
 			narrow.PeakMemBytes, wide.PeakMemBytes)
 	}
 }
+
+// TestTransientStrictContainment: a requirement spanning two owners has no
+// persistent cover, but a live transient of a strictly larger rect
+// (installed by an earlier gather on another leaf) does — the candidate
+// search must find it through the volume-bucket index and satisfy the read
+// with one copy from the transient instead of a piecewise gather.
+func TestTransientStrictContainment(t *testing.T) {
+	n, procs := 16, 4
+	m := flatMachine(procs)
+	b := NewRegion("B", []int{n}, distnot.NewPlacement(distnot.MustParse("x->x")))
+	a := NewRegion("A", []int{procs}, distnot.NewPlacement(distnot.MustParse("x->x")))
+	full := tensor.FullRect([]int{n})
+	span := tensor.NewRect([]int{2}, []int{6}) // spans owners 0 and 1
+	prog := &Program{Name: "contain", Machine: m, Regions: []*Region{a, b},
+		Launches: []*Launch{
+			readLaunch("g1", a, b, 1, full), // leaf 1 gathers all of B
+			readLaunch("g2", a, b, 2, span), // leaf 2 wants a spanning sub-rect
+		}}
+	res, err := Run(prog, Options{Params: testParams(), Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// g1 gathers 3 pieces (leaf 1 owns [4,8)); g2 is satisfied by ONE copy
+	// of [2,6) from leaf 1's full transient, not a 2-piece gather.
+	if res.Copies != 4 {
+		t.Fatalf("copies = %d, want 4 (3 gather pieces + 1 contained copy)", res.Copies)
+	}
+	foundContained := false
+	for _, c := range res.Trace {
+		if c.Rect.String() == span.String() {
+			foundContained = true
+			if c.Src != 1 || c.Dst != 2 {
+				t.Fatalf("contained copy %+v, want src 1 dst 2", c)
+			}
+		}
+	}
+	if !foundContained {
+		t.Fatalf("no whole-rect copy of %s in trace: %+v", span, res.Trace)
+	}
+}

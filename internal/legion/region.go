@@ -25,9 +25,12 @@
 //   - regState.pieces: the owners overlapping a rect, with the overlap and
 //     its payload precomputed — drives piecewise gathers and the
 //     accumulator flush scatter;
-//   - transGroups/transByKey: live transient instances grouped by rect,
-//     with installation order recoverable from per-instance sequence
-//     numbers so candidate ordering matches an exhaustive ordered scan.
+//   - transByKey/volBuckets: live transient instances grouped by rect,
+//     keyed exactly (transByKey, the one-lookup equal-rect candidates) and
+//     by rect volume (volBuckets — only strictly larger volumes can
+//     strictly contain a requirement rect), with installation order
+//     recoverable from per-instance sequence numbers so candidate ordering
+//     matches an exhaustive ordered scan.
 //
 // Copy source selection prices candidates per cost class (see
 // sim.CopyClassCost): the cost model runs once per intra-/inter-node class

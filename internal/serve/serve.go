@@ -11,6 +11,7 @@
 //
 //	POST /v1/execute  one request -> simulated metrics
 //	POST /v1/batch    up to MaxBatch requests, executed concurrently
+//	POST /v1/tune     auto-tune one workload's schedule -> leaderboard
 //	GET  /v1/stats    cache + server counters
 package serve
 
@@ -45,6 +46,10 @@ type Config struct {
 	MaxBatch int
 	// MaxBody is the largest accepted request body in bytes. Default 4 MiB.
 	MaxBody int64
+	// MaxTuneBudget caps the per-request candidate budget of /v1/tune (a
+	// tune evaluates up to budget compile+simulate cycles on one worker
+	// slot). Default 256.
+	MaxTuneBudget int
 }
 
 func (c Config) withDefaults() Config {
@@ -62,6 +67,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBody <= 0 {
 		c.MaxBody = 4 << 20
+	}
+	if c.MaxTuneBudget <= 0 {
+		c.MaxTuneBudget = 256
 	}
 	return c
 }
@@ -92,6 +100,7 @@ func New(sess *distal.Session, cfg Config) *Server {
 	}
 	s.mux.HandleFunc("/v1/execute", s.handleExecute)
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/tune", s.handleTune)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	return s
 }
@@ -359,6 +368,130 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	wg.Wait()
 	writeJSON(w, http.StatusOK, BatchResponse{Responses: out})
+}
+
+// TuneRequest is the wire form of one auto-tuning job: the workload named
+// exactly as in ExecuteRequest (a non-empty schedule competes as a seed
+// candidate instead of being applied) plus the search bounds.
+type TuneRequest struct {
+	Stmt     string            `json:"stmt"`
+	Shapes   map[string][]int  `json:"shapes"`
+	Formats  map[string]string `json:"formats,omitempty"`
+	Schedule string            `json:"schedule,omitempty"`
+	// Budget caps evaluated candidates (capped server-side at
+	// MaxTuneBudget; 0 = distal.DefaultTuneBudget).
+	Budget int `json:"budget,omitempty"`
+	// Beam is the second search stage's width (0 = default 4).
+	Beam int `json:"beam,omitempty"`
+	// Seed fixes overflow sampling: equal seed and budget return the same
+	// leaderboard.
+	Seed int64 `json:"seed,omitempty"`
+	// KeepTop is the leaderboard length (0 = default 10).
+	KeepTop int `json:"keep_top,omitempty"`
+	// TimeoutMS overrides the server's default per-request deadline.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// TuneEntry is one leaderboard row on the wire.
+type TuneEntry struct {
+	Schedule     string  `json:"schedule"`
+	MakespanSec  float64 `json:"makespan_sec"`
+	GFlops       float64 `json:"gflops"`
+	Copies       int64   `json:"copies"`
+	IntraBytes   int64   `json:"intra_bytes"`
+	InterBytes   int64   `json:"inter_bytes"`
+	PeakMemBytes int64   `json:"peak_mem_bytes"`
+	OOM          bool    `json:"oom,omitempty"`
+	PlanKey      string  `json:"plan_key"`
+}
+
+// TuneResponse reports one finished tuning run. The winner's plan is
+// compiled and resident in the server's plan cache: replaying the winning
+// schedule through /v1/execute is a cache hit.
+type TuneResponse struct {
+	Winner      TuneEntry   `json:"winner"`
+	Baseline    *TuneEntry  `json:"baseline,omitempty"` // AutoSchedule, when defined
+	SpeedupX    float64     `json:"speedup_x,omitempty"`
+	Leaderboard []TuneEntry `json:"leaderboard"`
+	Generated   int         `json:"generated"`
+	Illegal     int         `json:"illegal"`
+	Deduped     int         `json:"deduped"`
+	Evaluated   int         `json:"evaluated"`
+	Failed      int         `json:"failed"`
+	ElapsedMS   float64     `json:"elapsed_ms"`
+}
+
+func tuneEntry(c distal.TunedCandidate) TuneEntry {
+	return TuneEntry{
+		Schedule:     c.Schedule,
+		MakespanSec:  c.MakespanSec,
+		GFlops:       c.GFlops,
+		Copies:       c.Copies,
+		IntraBytes:   c.IntraBytes,
+		InterBytes:   c.InterBytes,
+		PeakMemBytes: c.PeakMemBytes,
+		OOM:          c.OOM,
+		PlanKey:      c.PlanKey,
+	}
+}
+
+func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.requests.Add(1)
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	var q TuneRequest
+	if !s.decode(w, r, &q) {
+		return
+	}
+	// An omitted budget means the tuner's default — which must also obey
+	// the operator's cap, so resolve it here before clamping.
+	budget := q.Budget
+	if budget <= 0 {
+		budget = distal.DefaultTuneBudget
+	}
+	if budget > s.cfg.MaxTuneBudget {
+		budget = s.cfg.MaxTuneBudget
+	}
+	ctx, cancel := s.deadlineFor(r.Context(), q.TimeoutMS)
+	defer cancel()
+	// A tune occupies one worker slot; its internal evaluation parallelism
+	// is the tuner's own bounded pool.
+	if err := s.acquire(ctx); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer s.release()
+	req := distal.Request{Stmt: q.Stmt, Shapes: q.Shapes, Formats: q.Formats, Schedule: q.Schedule}
+	res, err := s.sess.Tune(ctx, req, distal.TuneOptions{
+		Budget: budget, Beam: q.Beam, Seed: q.Seed, KeepTop: q.KeepTop,
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp := TuneResponse{
+		Winner:    tuneEntry(res.Winner),
+		SpeedupX:  res.Speedup(),
+		Generated: res.Generated,
+		Illegal:   res.Illegal,
+		Deduped:   res.Deduped,
+		Evaluated: res.Evaluated,
+		Failed:    res.Failed,
+		ElapsedMS: float64(res.Elapsed) / float64(time.Millisecond),
+	}
+	if res.Baseline != nil {
+		e := tuneEntry(*res.Baseline)
+		resp.Baseline = &e
+	}
+	for _, c := range res.Leaderboard {
+		resp.Leaderboard = append(resp.Leaderboard, tuneEntry(c))
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // StatsResponse is the /v1/stats payload.

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -289,5 +290,121 @@ func TestWorkerPoolBound(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+}
+
+// TestTuneEndpoint checks /v1/tune end to end: the search runs, the winner
+// matches or beats the AutoSchedule baseline, and — crucially for the
+// determinism contract — the endpoint returns the same winner as a direct
+// Session.Tune with the same seed and budget.
+func TestTuneEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, Config{})
+	req := TuneRequest{
+		Stmt: "A(i,j) = B(i,k) * C(k,j)",
+		Shapes: map[string][]int{
+			"A": {256, 256}, "B": {256, 256}, "C": {256, 256},
+		},
+		Budget: 32,
+		Seed:   5,
+	}
+	resp, body := post(t, ts.URL+"/v1/tune", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out TuneResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("bad response: %v\n%s", err, body)
+	}
+	if out.Winner.Schedule == "" || out.Winner.MakespanSec <= 0 || out.Winner.PlanKey == "" {
+		t.Fatalf("incomplete winner: %+v", out.Winner)
+	}
+	if out.Baseline == nil {
+		t.Fatal("no AutoSchedule baseline in response")
+	}
+	if out.Winner.MakespanSec > out.Baseline.MakespanSec {
+		t.Fatalf("winner %.9fs worse than baseline %.9fs", out.Winner.MakespanSec, out.Baseline.MakespanSec)
+	}
+	if out.Evaluated == 0 || out.Evaluated > 32 {
+		t.Fatalf("evaluated %d, want within (0, 32]", out.Evaluated)
+	}
+
+	// The same search done directly must elect the same winner.
+	direct := distal.NewSession(distal.NewMachine(distal.CPU, 2, 2))
+	want, err := direct.Tune(context.Background(), distal.Request{
+		Stmt: req.Stmt, Shapes: req.Shapes,
+	}, distal.TuneOptions{Budget: 32, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Winner.Schedule != want.Winner.Schedule {
+		t.Fatalf("wire winner differs from direct winner:\n  wire:   %s\n  direct: %s",
+			out.Winner.Schedule, want.Winner.Schedule)
+	}
+	if out.Winner.MakespanSec != want.Winner.MakespanSec {
+		t.Fatalf("wire makespan %.9fs != direct %.9fs", out.Winner.MakespanSec, want.Winner.MakespanSec)
+	}
+
+	// Replaying the winner through /v1/execute hits the plan cache.
+	exec := summaRequest(256)
+	exec.Schedule = out.Winner.Schedule
+	exec.Formats = nil
+	resp, body = post(t, ts.URL+"/v1/execute", exec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("winner replay status %d: %s", resp.StatusCode, body)
+	}
+	var er ExecuteResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if !er.Cached {
+		t.Fatal("winner replay was not served from the plan cache")
+	}
+	if er.PlanKey != out.Winner.PlanKey {
+		t.Fatalf("winner replay key %q != reported %q", er.PlanKey, out.Winner.PlanKey)
+	}
+}
+
+// TestTuneEndpointErrors: the tune endpoint reuses the error taxonomy
+// mapping (parse -> 400) and caps the budget server-side.
+func TestTuneEndpointErrors(t *testing.T) {
+	ts, _ := newTestServer(t, Config{MaxTuneBudget: 4})
+	resp, body := post(t, ts.URL+"/v1/tune", TuneRequest{Stmt: "nope("})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad stmt: status %d, want 400: %s", resp.StatusCode, body)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(body, &e); err != nil || e.Error.Kind != "parse" {
+		t.Fatalf("bad stmt: kind %q, want parse (%v)", e.Error.Kind, err)
+	}
+	req := TuneRequest{
+		Stmt:   "A(i,j) = B(i,k) * C(k,j)",
+		Shapes: map[string][]int{"A": {64, 64}, "B": {64, 64}, "C": {64, 64}},
+		Budget: 100000,
+	}
+	resp, body = post(t, ts.URL+"/v1/tune", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out TuneResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Evaluated > 4 {
+		t.Fatalf("evaluated %d, server cap was 4", out.Evaluated)
+	}
+	// An omitted budget must obey the cap too: the tuner default is 64,
+	// but the operator said 4.
+	req.Budget = 0
+	req.Seed = 1
+	resp, body = post(t, ts.URL+"/v1/tune", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	out = TuneResponse{}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Evaluated > 4 {
+		t.Fatalf("default-budget request evaluated %d, server cap was 4", out.Evaluated)
 	}
 }

@@ -1,0 +1,79 @@
+package tune_test
+
+// Black-box check of the generator against the real compiler: every
+// candidate the space emits for representative workloads compiles without
+// error through a session (the legality gate admits nothing the compiler
+// rejects). Lives in an external test package because the root distal
+// package itself links internal/tune.
+
+import (
+	"context"
+	"testing"
+
+	"distal"
+	"distal/internal/ir"
+	"distal/internal/tune"
+)
+
+func TestEveryCandidateCompiles(t *testing.T) {
+	cases := []struct {
+		name string
+		req  distal.Request
+		grid []int
+	}{
+		{
+			name: "gemm4x4",
+			req: distal.Request{
+				Stmt:   "A(i,j) = B(i,k) * C(k,j)",
+				Shapes: map[string][]int{"A": {256, 256}, "B": {256, 256}, "C": {256, 256}},
+			},
+			grid: []int{4, 4},
+		},
+		{
+			name: "mttkrp2x2x2",
+			req: distal.Request{
+				Stmt: "A(i,l) = B(i,j,k) * C(j,l) * D(k,l)",
+				Shapes: map[string][]int{
+					"A": {16, 8}, "B": {16, 16, 16}, "C": {16, 8}, "D": {16, 8},
+				},
+				Formats: map[string]string{
+					"A": "ab->a00", "B": "abc->abc", "C": "ab->*a*", "D": "ab->**a",
+				},
+			},
+			grid: []int{2, 2, 2},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var kind distal.ProcessorKind
+			sess := distal.NewSession(distal.NewMachine(kind, tc.grid...))
+			stmt, err := ir.Parse(tc.req.Stmt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			extents, err := stmt.VarExtents(tc.req.Shapes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp, err := tune.NewSpace(stmt, extents, tc.grid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			count := 0
+			for _, tl := range sp.Tilings() {
+				for _, text := range append([]string{tl.Text()}, sp.Refinements(tl)...) {
+					count++
+					req := tc.req
+					req.Schedule = text
+					if _, err := sess.Compile(context.Background(), req); err != nil {
+						t.Fatalf("candidate does not compile: %v\n%s", err, text)
+					}
+				}
+			}
+			if count < 10 {
+				t.Fatalf("suspiciously small space: %d candidates", count)
+			}
+			t.Logf("%d candidates compiled", count)
+		})
+	}
+}

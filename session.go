@@ -289,6 +289,24 @@ type Request struct {
 // classifying failures: request validation and statement/format parsing are
 // KindParse, schedule parsing/application is KindSchedule.
 func (s *Session) buildComputation(req Request) (*Computation, error) {
+	c, err := s.buildUnscheduled(req)
+	if err != nil {
+		return nil, err
+	}
+	if req.Schedule == "" {
+		if err := c.AutoSchedule(); err != nil {
+			return nil, wrapErr(KindSchedule, "compile", err)
+		}
+	} else if err := c.ApplySchedule(req.Schedule); err != nil {
+		return nil, wrapErr(KindSchedule, "compile", err)
+	}
+	return c, nil
+}
+
+// buildUnscheduled is buildComputation without the schedule: it validates
+// the request and binds tensors, leaving the computation unscheduled (the
+// tuner derives candidate schedules itself).
+func (s *Session) buildUnscheduled(req Request) (*Computation, error) {
 	stmt, err := ir.Parse(req.Stmt)
 	if err != nil {
 		return nil, wrapErr(KindParse, "compile", err)
@@ -332,13 +350,6 @@ func (s *Session) buildComputation(req Request) (*Computation, error) {
 	c, err := s.Define(req.Stmt, tensors...)
 	if err != nil {
 		return nil, wrapErr(KindParse, "compile", err)
-	}
-	if req.Schedule == "" {
-		if err := c.AutoSchedule(); err != nil {
-			return nil, wrapErr(KindSchedule, "compile", err)
-		}
-	} else if err := c.ApplySchedule(req.Schedule); err != nil {
-		return nil, wrapErr(KindSchedule, "compile", err)
 	}
 	return c, nil
 }
@@ -474,6 +485,73 @@ func (s *Session) compileRequest(ctx context.Context, ck string, req Request) (*
 	s.memoize(ck, key)
 	stats := CompileStats{CompileTime: time.Since(start), Launches: pd.launches, Points: pd.points}
 	return &Plan{sess: s, key: key, data: pd, stats: stats}, nil
+}
+
+// flightCompile resolves a plan key through the plan cache and the
+// session's singleflight table: concurrent identical compiles run compileFn
+// once and share the result. It is the fluent counterpart of Compile's
+// flight handling — fluent computations have no canonical request text, so
+// their flights key on the plan key in a namespace of its own ("plan\x00"
+// prefix; canonical requests are length-framed and never start with that
+// byte sequence's shape, so the two key spaces cannot collide).
+func (s *Session) flightCompile(key string, compileFn func() (*planData, error)) (*planData, error) {
+	fk := "plan\x00" + key
+	s.mu.Lock()
+	if s.capacity > 0 {
+		if el, ok := s.plans[key]; ok {
+			s.hits++
+			s.lru.MoveToFront(el)
+			pd := el.Value.(*planEntry).data
+			s.mu.Unlock()
+			return pd, nil
+		}
+	}
+	if fl, ok := s.flights[fk]; ok {
+		s.mu.Unlock()
+		<-fl.done
+		// Unlike Compile's waiters, there is no retry here: fluent compiles
+		// carry no context, so a leader's failure is a plain compile error
+		// every waiter shares.
+		if fl.err != nil {
+			return nil, fl.err
+		}
+		s.mu.Lock()
+		s.hits++ // served by the shared flight: no compile ran for us
+		s.mu.Unlock()
+		return fl.data, nil
+	}
+	fl := &flight{done: make(chan struct{})}
+	s.flights[fk] = fl
+	s.mu.Unlock()
+	return s.leadFlight(key, fk, fl, compileFn)
+}
+
+// leadFlight runs compileFn as a flight's leader with the same panic-safety
+// guarantee as lead: the flight is always removed and its done channel
+// closed, so waiters can never block on a dead flight.
+func (s *Session) leadFlight(key, fk string, fl *flight, compileFn func() (*planData, error)) (pd *planData, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			fl.err = fmt.Errorf("distal: compile panicked: %v", r)
+			pd, err = nil, fl.err
+		}
+		s.mu.Lock()
+		delete(s.flights, fk)
+		s.mu.Unlock()
+		close(fl.done)
+	}()
+	if pd := s.lookup(key); pd != nil { // counts this caller's hit or miss
+		fl.key, fl.data = key, pd
+		return pd, nil
+	}
+	pd, err = compileFn()
+	if err != nil {
+		fl.err = err
+		return nil, err
+	}
+	s.store(key, pd)
+	fl.key, fl.data = key, pd
+	return pd, nil
 }
 
 // Execute is the one-call convenience a CLI needs: Compile followed by

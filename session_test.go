@@ -382,3 +382,98 @@ func TestScheduleTextRoundTripThroughComputation(t *testing.T) {
 		t.Fatalf("stats = %+v, want the parsed schedule to hit the fluent plan", st)
 	}
 }
+
+// TestFluentCompileSingleflight: concurrent identical fluent compiles
+// (Computation.Compile, not the Request path) collapse through the same
+// flight table as Session.Compile — exactly one compiler run, everyone else
+// waits and shares.
+func TestFluentCompileSingleflight(t *testing.T) {
+	sess := NewSession(NewMachine(CPU, 2, 2))
+	build := func() *Computation {
+		f := Tiled(2)
+		A := NewTensor("A", f, 64, 64)
+		B := NewTensor("B", f, 64, 64)
+		C := NewTensor("C", f, 64, 64)
+		comp, err := sess.Define(gemmStmt, A, B, C)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comp.Schedule().
+			Divide("i", "io", "ii", 2).Divide("j", "jo", "ji", 2).
+			Reorder("io", "jo", "ii", "ji").Distribute("io", "jo").
+			Communicate("jo", "A", "B", "C")
+		return comp
+	}
+	const n = 8
+	comps := make([]*Computation, n)
+	for i := range comps {
+		comps[i] = build()
+	}
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	progs := make([]*Program, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			progs[i], errs[i] = comps[i].Compile()
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("compile %d: %v", i, err)
+		}
+	}
+	st := sess.CacheStats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want exactly 1 (one shared compile)", st.Misses)
+	}
+	if st.Hits != n-1 {
+		t.Fatalf("hits = %d, want %d (everyone else shares)", st.Hits, n-1)
+	}
+	for i := 1; i < n; i++ {
+		if progs[i].P != progs[0].P {
+			t.Fatalf("compile %d returned a different program object", i)
+		}
+	}
+	// A fluent compile and a Request compile of the same program share one
+	// cache entry: the Request path is a hit now.
+	plan, err := sess.Compile(context.Background(), Request{
+		Stmt: gemmStmt,
+		Shapes: map[string][]int{
+			"A": {64, 64}, "B": {64, 64}, "C": {64, 64},
+		},
+		Schedule: comps[0].ScheduleText(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Stats().Cached {
+		t.Fatal("request compile of the fluently compiled program missed the cache")
+	}
+}
+
+// TestFluentCompileErrorPropagates: a failing fluent compile surfaces its
+// error to every concurrent caller and leaves no stuck flight behind.
+func TestFluentCompileErrorPropagates(t *testing.T) {
+	sess := NewSession(NewMachine(CPU, 2, 2))
+	f := Tiled(2)
+	comp, err := sess.Define(gemmStmt,
+		NewTensor("A", f, 64, 64), NewTensor("B", f, 64, 64), NewTensor("C", f, 64, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A sticky schedule error (divide by zero pieces) surfaces at Compile.
+	comp.Schedule().Divide("i", "io", "ii", 0)
+	if _, err := comp.Compile(); err == nil {
+		t.Fatal("expected a compile error")
+	}
+	// The session must remain usable afterwards.
+	if _, err := sess.Execute(gemmRequest(64)); err != nil {
+		t.Fatalf("session unusable after failed fluent compile: %v", err)
+	}
+}
