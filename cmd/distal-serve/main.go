@@ -12,7 +12,13 @@
 //	POST /v1/execute  {"stmt": "A(i,j) = B(i,k) * C(k,j)", "shapes": {...},
 //	                   "formats": {...}, "schedule": "..."}
 //	POST /v1/batch    {"requests": [...]}
+//	POST /v1/run      real execution: the request plus input tensors as
+//	                  binary wire frames (or server-side fills); the output
+//	                  tensor streams back (see internal/wire, cmd/distal-run)
 //	GET  /v1/stats    cache and server counters
+//
+// Request bodies are capped: -max-body for the JSON endpoints, -max-run-body
+// for /v1/run (which carries tensor payloads).
 package main
 
 import (
@@ -42,6 +48,8 @@ func main() {
 	workers := flag.Int("workers", 0, "max concurrent executions (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
 	cache := flag.Int("cache", distal.DefaultPlanCacheSize, "plan cache capacity (0 disables)")
+	maxBody := flag.Int64("max-body", 4<<20, "largest accepted body on the JSON endpoints, in bytes")
+	maxRunBody := flag.Int64("max-run-body", 256<<20, "largest accepted /v1/run body (JSON section plus tensor frames), in bytes")
 	flag.Parse()
 
 	dims, err := parseGrid(*grid)
@@ -63,7 +71,10 @@ func main() {
 		params = distal.LassenGPU()
 	}
 	sess := distal.NewSession(m, distal.WithParams(params), distal.WithPlanCacheSize(*cache))
-	srv := serve.New(sess, serve.Config{Workers: *workers, Timeout: *timeout})
+	srv := serve.New(sess, serve.Config{
+		Workers: *workers, Timeout: *timeout,
+		MaxBody: *maxBody, MaxRunBody: *maxRunBody,
+	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 	done := make(chan struct{})

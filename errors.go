@@ -26,6 +26,11 @@ const (
 	// KindExec is an execution failure: the compiled program failed while
 	// running or simulating (unsatisfiable requirement, unbound data, ...).
 	KindExec
+	// KindInput is a well-formed request whose data does not fit the plan:
+	// a wire-decoded tensor whose shape or rank disagrees with the
+	// request's declared shapes, or a missing/extra tensor frame. Distinct
+	// from KindParse (malformed bytes) so services can map it to 422.
+	KindInput
 	// KindCanceled reports that the caller's context was canceled or its
 	// deadline expired before the operation finished. Errors of this kind
 	// also match errors.Is against context.Canceled or
@@ -44,6 +49,8 @@ func (k ErrKind) String() string {
 		return "compile"
 	case KindExec:
 		return "exec"
+	case KindInput:
+		return "input"
 	case KindCanceled:
 		return "canceled"
 	default:

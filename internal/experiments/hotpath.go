@@ -22,6 +22,12 @@ type HotpathRow struct {
 	Runs int     `json:"runs"`
 }
 
+// hotpathCase is one named measurement target.
+type hotpathCase struct {
+	name string
+	f    func() error
+}
+
 // Hotpath measures the paths pinned by the hot-path benchmarks
 // (hotpath_bench_test.go) in-process: multi-launch and single-launch
 // compilation, a cold simulated execute, and validated (Real-mode)
@@ -86,16 +92,19 @@ func Hotpath(runs int) ([]HotpathRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	cases := []struct {
-		name string
-		f    func() error
-	}{
+	cases := []hotpathCase{
 		{"compile-summa16x16seq", compileOnly(summa)},
 		{"compile-johnson8x8x8", compileOnly(johnson)},
 		{"cold-execute-sim", execute(johnson, legion.Options{Params: sim.LassenGPU()})},
 		{"cold-execute-real", execute(realCompiled, legion.Options{Params: sim.LassenCPU(), Real: true})},
 		{"cold-execute-real-tree", execute(realTree, legion.Options{Params: sim.LassenCPU(), Real: true})},
 	}
+	wireCases, closeWire, err := wireHotpath()
+	if err != nil {
+		return nil, fmt.Errorf("hotpath wire setup: %w", err)
+	}
+	defer closeWire()
+	cases = append(cases, wireCases...)
 	var rows []HotpathRow
 	for _, c := range cases {
 		ms, err := best(c.f)

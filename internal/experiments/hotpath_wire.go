@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"context"
+	"net/http/httptest"
+
+	"distal"
+	"distal/internal/serve"
+	"distal/internal/tensor"
+	"distal/internal/wire"
+)
+
+// wireHotpath builds the `run-wire-*` measurements: one full POST /v1/run
+// round trip against an in-process server — frame encode, HTTP, server-side
+// decode, real execution on the cached plan, and the streamed response
+// decode. run-wire-summa ships the input tensors as wire frames;
+// run-wire-fill has the server materialize them from fill directives, so the
+// pair separates payload-movement cost from the shared execution path. The
+// returned closer shuts the server down.
+func wireHotpath() (cases []hotpathCase, close func(), err error) {
+	const n = 256
+	sess := distal.NewSession(distal.NewMachine(distal.CPU, 4, 4))
+	ts := httptest.NewServer(serve.New(sess, serve.Config{}))
+
+	req := wire.RunRequest{
+		Stmt:   "A(i,j) = B(i,k) * C(k,j)",
+		Shapes: map[string][]int{"A": {n, n}, "B": {n, n}, "C": {n, n}},
+		Schedule: "divide(i,io,ii,4) divide(j,jo,ji,4) reorder(io,jo,ii,ji) distribute(io,jo) " +
+			"split(k,ko,ki,64) reorder(io,jo,ko,ii,ji,ki) communicate(jo,A) communicate(ko,B,C)",
+	}
+	B := tensor.New("B", n, n)
+	B.FillRandom(1)
+	C := tensor.New("C", n, n)
+	C.FillRandom(2)
+
+	client := &wire.Client{BaseURL: ts.URL, HTTP: ts.Client()}
+	framedReq := req
+	framedReq.Inputs = map[string]string{"B": wire.FillWire, "C": wire.FillWire}
+	framedData := map[string]*tensor.Dense{"B": B, "C": C}
+	filledReq := req
+	filledReq.Inputs = map[string]string{"B": "rand:1", "C": "rand:2"}
+
+	// Warm the plan cache so every timed iteration measures the wire path,
+	// not one amortized compile.
+	if _, _, err := client.Run(context.Background(), filledReq, nil); err != nil {
+		ts.Close()
+		return nil, nil, err
+	}
+
+	cases = []hotpathCase{
+		{"run-wire-summa", func() error {
+			_, _, err := client.Run(context.Background(), framedReq, framedData)
+			return err
+		}},
+		{"run-wire-fill", func() error {
+			_, _, err := client.Run(context.Background(), filledReq, nil)
+			return err
+		}},
+	}
+	return cases, ts.Close, nil
+}

@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"distal"
+	"distal/internal/tensor"
+	"distal/internal/wire"
+)
+
+// handleRun is real execution over the wire: a data-free distal.Request
+// rides in the body's JSON section, input tensors follow as wire frames in
+// statement order (or are filled server-side), the plan resolves through
+// the session cache, Plan.Bind(...).Run executes on a worker slot under the
+// request deadline, and the computed output tensor streams back as one
+// frame with the run's metrics in Distal-* headers.
+//
+// Accepted bodies:
+//
+//	application/x-distal-run   u32 JSON length | wire.RunRequest | frames
+//	application/json           bare wire.RunRequest, all inputs filled
+//
+// Failure mapping: malformed wire bytes and bad directives are KindParse
+// (400); well-formed frames whose shape or rank disagrees with the declared
+// request, missing frames, and trailing garbage are KindInput (422);
+// nothing client-caused ever maps to 500.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.requests.Add(1)
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	mt, ok := s.contentType(w, r, wire.ContentTypeRun, "application/json")
+	if !ok {
+		return
+	}
+	framed := mt == wire.ContentTypeRun
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxRunBody)
+	defer io.Copy(io.Discard, body) //nolint:errcheck — drain for keep-alive
+
+	var q wire.RunRequest
+	if framed {
+		section, err := wire.ReadJSONSection(body)
+		if err != nil {
+			s.writeError(w, &distal.Error{Kind: distal.KindParse, Op: "run", Err: err})
+			return
+		}
+		if err := unmarshalStrict(section, &q); err != nil {
+			s.writeError(w, &distal.Error{Kind: distal.KindParse, Op: "run", Err: err})
+			return
+		}
+	} else {
+		dec := json.NewDecoder(body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&q); err != nil {
+			s.writeError(w, &distal.Error{Kind: distal.KindParse, Op: "run", Err: err})
+			return
+		}
+	}
+	for name, fill := range q.Inputs {
+		if !wire.ValidFill(fill) {
+			s.writeError(w, &distal.Error{Kind: distal.KindParse, Op: "run",
+				Err: fmt.Errorf("tensor %s: bad inputs directive %q", name, fill)})
+			return
+		}
+		if fill == wire.FillWire && !framed {
+			s.writeError(w, &distal.Error{Kind: distal.KindParse, Op: "run",
+				Err: fmt.Errorf("tensor %s is marked %q, which needs Content-Type %s", name, wire.FillWire, wire.ContentTypeRun)})
+			return
+		}
+	}
+
+	ctx, cancel := s.deadlineFor(r.Context(), q.TimeoutMS)
+	defer cancel()
+	if err := s.acquire(ctx); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer s.release()
+
+	plan, err := s.sess.Compile(ctx, distal.Request{
+		Stmt: q.Stmt, Shapes: q.Shapes, Formats: q.Formats, Schedule: q.Schedule,
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	names := plan.Tensors()
+	known := map[string]bool{}
+	for _, name := range names {
+		known[name] = true
+	}
+	for name := range q.Inputs {
+		if !known[name] {
+			s.writeError(w, &distal.Error{Kind: distal.KindParse, Op: "run",
+				Err: fmt.Errorf("inputs names %s, which is not a tensor of %q", name, q.Stmt)})
+			return
+		}
+	}
+
+	// Materialize every tensor of the statement, decoding wire frames in
+	// statement order. Each frame decodes under the exact element count the
+	// request declared for its tensor, so a lying frame header can never
+	// allocate beyond the declared workload.
+	binds := make([]*distal.Tensor, 0, len(names))
+	for _, name := range names {
+		shape := q.Shapes[name]
+		var data *tensor.Dense
+		if q.Inputs[name] == wire.FillWire {
+			elems := 1
+			for _, s := range shape {
+				elems *= s
+			}
+			data, err = wire.DecodeLimit(body, elems)
+			if err != nil {
+				s.writeError(w, &distal.Error{Kind: distal.KindParse, Op: "run",
+					Err: fmt.Errorf("decoding frame for %s: %w", name, err)})
+				return
+			}
+			if !shapesEqual(data.Shape(), shape) {
+				s.writeError(w, &distal.Error{Kind: distal.KindInput, Op: "run",
+					Err: fmt.Errorf("frame for %s has shape %v, the request declares %v", name, data.Shape(), shape)})
+				return
+			}
+			data.Rename(name)
+		} else {
+			data = tensor.New(name, shape...)
+			if err := wire.ApplyFill(data, q.Inputs[name]); err != nil {
+				s.writeError(w, &distal.Error{Kind: distal.KindParse, Op: "run", Err: err})
+				return
+			}
+		}
+		binds = append(binds, &distal.Tensor{Name: name, Shape: shape, Data: data})
+	}
+	if framed {
+		// The body must end exactly at the last declared frame: trailing
+		// bytes mean the client and server disagree about the frame set.
+		var probe [1]byte
+		if n, _ := io.ReadFull(body, probe[:]); n != 0 {
+			s.writeError(w, &distal.Error{Kind: distal.KindInput, Op: "run",
+				Err: errors.New("trailing data after the last declared wire frame")})
+			return
+		}
+	}
+
+	res, err := plan.Bind(binds...).Run(ctx)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	var out *tensor.Dense
+	for _, b := range binds {
+		if b.Name == plan.Output() {
+			out = b.Data
+		}
+	}
+	if out == nil {
+		s.writeError(w, &distal.Error{Kind: distal.KindExec, Op: "run",
+			Err: fmt.Errorf("plan lost its output tensor %s", plan.Output())})
+		return
+	}
+
+	st := plan.Stats()
+	stats := wire.RunStats{
+		PlanKey:      plan.Key(),
+		Cached:       st.Cached,
+		Output:       plan.Output(),
+		TimeS:        res.Time,
+		GFlops:       res.GFlopsPerSec(),
+		Copies:       res.Copies,
+		IntraBytes:   res.IntraBytes,
+		InterBytes:   res.InterBytes,
+		PeakMemBytes: res.PeakMemBytes,
+		CompileMS:    float64(st.CompileTime) / float64(time.Millisecond),
+	}
+	stats.SetHeaders(w.Header())
+	w.Header().Set("Content-Type", wire.ContentTypeTensor)
+	w.WriteHeader(http.StatusOK)
+	// Stream the result frame by frame: Encode writes through a 64 KiB
+	// scratch and the flushing writer pushes each chunk out immediately, so
+	// the response is chunked transfer with no whole-result buffering.
+	if err := wire.Encode(&flushWriter{w: w}, out); err != nil {
+		// The status line is gone; all we can do is drop the connection so
+		// the client sees a truncated frame instead of a silent short read.
+		if hj, ok := w.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				conn.Close()
+			}
+		}
+	}
+}
+
+func unmarshalStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func shapesEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// flushWriter flushes after every write so the encoder's chunks leave the
+// server as they are produced.
+type flushWriter struct {
+	w http.ResponseWriter
+}
+
+func (f *flushWriter) Write(p []byte) (int, error) {
+	n, err := f.w.Write(p)
+	if fl, ok := f.w.(http.Flusher); ok {
+		fl.Flush()
+	}
+	return n, err
+}

@@ -12,6 +12,9 @@
 //	POST /v1/execute  one request -> simulated metrics
 //	POST /v1/batch    up to MaxBatch requests, executed concurrently
 //	POST /v1/tune     auto-tune one workload's schedule -> leaderboard
+//	POST /v1/run      real execution: wire-encoded or server-filled input
+//	                  tensors in, the computed output tensor streamed back
+//	                  (see run.go and internal/wire)
 //	GET  /v1/stats    cache + server counters
 package serve
 
@@ -21,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"mime"
 	"net/http"
 	"runtime"
 	"sync"
@@ -44,8 +48,12 @@ type Config struct {
 	MaxTimeout time.Duration
 	// MaxBatch is the largest accepted /v1/batch request. Default 64.
 	MaxBatch int
-	// MaxBody is the largest accepted request body in bytes. Default 4 MiB.
+	// MaxBody is the largest accepted request body in bytes on the JSON
+	// endpoints. Default 4 MiB.
 	MaxBody int64
+	// MaxRunBody is the largest accepted /v1/run body in bytes — the JSON
+	// section plus every input tensor frame. Default 256 MiB.
+	MaxRunBody int64
 	// MaxTuneBudget caps the per-request candidate budget of /v1/tune (a
 	// tune evaluates up to budget compile+simulate cycles on one worker
 	// slot). Default 256.
@@ -67,6 +75,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBody <= 0 {
 		c.MaxBody = 4 << 20
+	}
+	if c.MaxRunBody <= 0 {
+		c.MaxRunBody = 256 << 20
 	}
 	if c.MaxTuneBudget <= 0 {
 		c.MaxTuneBudget = 256
@@ -101,6 +112,7 @@ func New(sess *distal.Session, cfg Config) *Server {
 	s.mux.HandleFunc("/v1/execute", s.handleExecute)
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
 	s.mux.HandleFunc("/v1/tune", s.handleTune)
+	s.mux.HandleFunc("/v1/run", s.handleRun)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	return s
 }
@@ -167,7 +179,7 @@ func statusFor(kind distal.ErrKind) int {
 	switch kind {
 	case distal.KindParse:
 		return http.StatusBadRequest
-	case distal.KindSchedule, distal.KindCompile:
+	case distal.KindSchedule, distal.KindCompile, distal.KindInput:
 		return http.StatusUnprocessableEntity
 	case distal.KindCanceled:
 		return http.StatusGatewayTimeout
@@ -196,7 +208,42 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	writeJSON(w, status, errorResponse{Error: body})
 }
 
+// writeErrorStatus is writeError with the taxonomy's status mapping
+// overridden (e.g. 415 for a mismatched Content-Type).
+func (s *Server) writeErrorStatus(w http.ResponseWriter, status int, err error) {
+	body, _ := s.countErr(err)
+	writeJSON(w, status, errorResponse{Error: body})
+}
+
+// contentType returns the request's media type, "" when the header is
+// absent, or an error when it does not parse or does not match one of the
+// accepted types. Every POST endpoint rejects mismatched Content-Type up
+// front instead of mis-parsing the body.
+func (s *Server) contentType(w http.ResponseWriter, r *http.Request, accepted ...string) (string, bool) {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return "", true
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		s.writeErrorStatus(w, http.StatusUnsupportedMediaType,
+			&distal.Error{Kind: distal.KindParse, Op: "decode", Err: fmt.Errorf("bad Content-Type %q: %v", ct, err)})
+		return "", false
+	}
+	for _, a := range accepted {
+		if mt == a {
+			return mt, true
+		}
+	}
+	s.writeErrorStatus(w, http.StatusUnsupportedMediaType,
+		&distal.Error{Kind: distal.KindParse, Op: "decode", Err: fmt.Errorf("unsupported Content-Type %q (want %v)", mt, accepted)})
+	return "", false
+}
+
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if _, ok := s.contentType(w, r, "application/json"); !ok {
+		return false
+	}
 	// One limited reader serves both the decoder and the keep-alive drain:
 	// a body beyond MaxBody errors out and the drain never reads past the
 	// limiter either (MaxBytesReader closes oversized connections).

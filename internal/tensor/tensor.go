@@ -35,6 +35,30 @@ func New(name string, shape ...int) *Dense {
 	}
 }
 
+// FromData wraps an existing row-major backing slice as a dense tensor
+// without copying: len(data) must equal the product of shape. It is the
+// zero-copy construction path of streaming decoders (internal/wire), which
+// fill the slice incrementally and hand it over once complete. The caller
+// must not use data through any other reference afterwards.
+func FromData(name string, data []float64, shape ...int) *Dense {
+	n := 1
+	for _, s := range shape {
+		if s < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+		}
+		n *= s
+	}
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor %s: %d values for shape %v (want %d)", name, len(data), shape, n))
+	}
+	return &Dense{
+		name:    name,
+		shape:   append([]int(nil), shape...),
+		strides: rowMajorStrides(shape),
+		data:    data,
+	}
+}
+
 func rowMajorStrides(shape []int) []int {
 	strides := make([]int, len(shape))
 	acc := 1
@@ -47,6 +71,14 @@ func rowMajorStrides(shape []int) []int {
 
 // Name returns the tensor's name (used in notation and diagnostics).
 func (t *Dense) Name() string { return t.name }
+
+// Rename sets the tensor's name in place and returns the tensor. The wire
+// codec decodes payloads without names (names travel in the request/response
+// envelope, not the tensor frames), so receivers rename before binding.
+func (t *Dense) Rename(name string) *Dense {
+	t.name = name
+	return t
+}
 
 // Rank returns the number of dimensions.
 func (t *Dense) Rank() int { return len(t.shape) }

@@ -1,0 +1,153 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"distal/internal/ir"
+	"distal/internal/tensor"
+)
+
+// Client drives POST /v1/run against a distal-serve instance: it frames the
+// request (streaming wire-marked inputs through an io.Pipe, so large
+// tensors are never buffered a second time), and decodes the streamed
+// response frame into a tensor.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTP overrides the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+// RunError is a non-2xx /v1/run response: the HTTP status plus the
+// service's structured error body.
+type RunError struct {
+	Status  int
+	Kind    string
+	Message string
+}
+
+func (e *RunError) Error() string {
+	return fmt.Sprintf("wire: server returned %d (%s): %s", e.Status, e.Kind, e.Message)
+}
+
+// Run executes req on the server. data supplies the frames for every input
+// whose Inputs directive is "wire" (other entries are rejected: fills are
+// materialized server-side by design). The returned tensor is the streamed
+// output, named and shaped by the response; stats carry the run's metrics.
+func (c *Client) Run(ctx context.Context, req RunRequest, data map[string]*tensor.Dense) (*tensor.Dense, *RunStats, error) {
+	order, err := wireOrder(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	for name := range data {
+		if req.Inputs[name] != FillWire {
+			return nil, nil, fmt.Errorf("wire: data given for %s, whose inputs entry is %q, not %q", name, req.Inputs[name], FillWire)
+		}
+	}
+	frames := make([]*tensor.Dense, len(order))
+	for i, name := range order {
+		t, ok := data[name]
+		if !ok {
+			return nil, nil, fmt.Errorf("wire: input %s is marked %q but no data was given", name, FillWire)
+		}
+		frames[i] = t
+	}
+	envelope, err := json.Marshal(req)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var body io.Reader
+	contentType := ContentTypeRun
+	if len(frames) == 0 {
+		// All-fills requests take the curl-friendly bare-JSON form.
+		body, contentType = bytes.NewReader(envelope), "application/json"
+	} else {
+		pr, pw := io.Pipe()
+		body = pr
+		go func() {
+			err := WriteJSONSection(pw, envelope)
+			if err == nil {
+				err = EncodeFrames(pw, frames...)
+			}
+			pw.CloseWithError(err)
+		}()
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/run", body)
+	if err != nil {
+		return nil, nil, err
+	}
+	httpReq.Header.Set("Content-Type", contentType)
+	client := c.HTTP
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(httpReq)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, decodeError(resp)
+	}
+	stats := StatsFromHeaders(resp.Header)
+	limit := DefaultMaxElements
+	if shape, ok := req.Shapes[stats.Output]; ok {
+		limit = 1
+		for _, s := range shape {
+			limit *= s
+		}
+	}
+	out, err := DecodeLimit(resp.Body, limit)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wire: decoding response: %w", err)
+	}
+	return out.Rename(stats.Output), &stats, nil
+}
+
+// wireOrder returns the statement-order names of req's wire-marked inputs —
+// the exact frame order of the body — after validating every directive.
+func wireOrder(req RunRequest) ([]string, error) {
+	stmt, err := ir.Parse(req.Stmt)
+	if err != nil {
+		return nil, fmt.Errorf("wire: %w", err)
+	}
+	named := map[string]bool{}
+	for _, name := range stmt.TensorNames() {
+		named[name] = true
+	}
+	for name, fill := range req.Inputs {
+		if !named[name] {
+			return nil, fmt.Errorf("wire: inputs names %s, which is not a tensor of %q", name, req.Stmt)
+		}
+		if !ValidFill(fill) {
+			return nil, fmt.Errorf("wire: tensor %s: bad inputs directive %q", name, fill)
+		}
+	}
+	var order []string
+	for _, name := range stmt.TensorNames() {
+		if req.Inputs[name] == FillWire {
+			order = append(order, name)
+		}
+	}
+	return order, nil
+}
+
+func decodeError(resp *http.Response) error {
+	var body struct {
+		Error struct {
+			Kind    string `json:"kind"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err := json.Unmarshal(raw, &body); err != nil || body.Error.Kind == "" {
+		return &RunError{Status: resp.StatusCode, Kind: "unknown", Message: string(raw)}
+	}
+	return &RunError{Status: resp.StatusCode, Kind: body.Error.Kind, Message: body.Error.Message}
+}

@@ -1,0 +1,77 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"distal/internal/tensor"
+)
+
+// fuzzLimit keeps the fuzzer's worst-case allocation small: the decoder must
+// reject any header declaring more than this many elements before allocating
+// the payload.
+const fuzzLimit = 1 << 16
+
+// FuzzDecode feeds arbitrary bytes to the decoder: it must never panic and
+// never allocate past the validated element limit, and anything it accepts
+// must re-encode to a frame that decodes back bit-identically (the decoder
+// accepts only canonical encodings, so accept implies round-trip).
+func FuzzDecode(f *testing.F) {
+	seed := func(t *tensor.Dense) []byte {
+		var buf bytes.Buffer
+		if err := Encode(&buf, t); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	r := tensor.New("r", 4, 6)
+	r.FillRandom(3)
+	sp := tensor.New("sp", 3)
+	sp.Data()[0] = math.NaN()
+	sp.Data()[1] = math.Inf(-1)
+	sp.Data()[2] = math.Copysign(0, -1)
+
+	f.Add(seed(tensor.New("scalar")))
+	f.Add(seed(tensor.New("empty", 0)))
+	f.Add(seed(r))
+	f.Add(seed(sp))
+	f.Add(seed(r)[:11])                   // truncated dims
+	f.Add(seed(r)[:headerSize+16+5])      // truncated payload
+	f.Add(append(seed(sp), seed(sp)...))  // trailing second frame
+	f.Add([]byte{})                       // empty
+	f.Add([]byte{'D', 'T', 'W', 'F'})     // magic only
+	f.Add([]byte{'D', 'T', 'W', 'F', 2})  // wrong version
+	f.Add([]byte("DTWF\x01\x01\xff\xff")) // absurd rank
+	huge := []byte{'D', 'T', 'W', 'F', Version, DTypeFloat64, 1, 0}
+	var dim [8]byte
+	binary.LittleEndian.PutUint64(dim[:], math.MaxUint64)
+	f.Add(append(huge, dim[:]...)) // one dim claiming 2^64-1 elements
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeLimit(bytes.NewReader(data), fuzzLimit)
+		if err != nil {
+			return
+		}
+		if got.Size() > fuzzLimit {
+			t.Fatalf("decoded %d elements past the limit %d", got.Size(), fuzzLimit)
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, got); err != nil {
+			t.Fatalf("re-encoding an accepted frame failed: %v", err)
+		}
+		back, err := DecodeLimit(bytes.NewReader(buf.Bytes()), fuzzLimit)
+		if err != nil {
+			t.Fatalf("re-decoding a re-encoded frame failed: %v", err)
+		}
+		if !bitsEqual(got, back) {
+			t.Fatal("accepted frame does not round-trip bit-identically")
+		}
+		// An accepted frame is a prefix of data: the encoding is canonical,
+		// so the accepted bytes must equal the re-encoding exactly.
+		if !bytes.Equal(buf.Bytes(), data[:buf.Len()]) {
+			t.Fatal("accepted prefix differs from the canonical encoding")
+		}
+	})
+}

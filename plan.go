@@ -18,17 +18,19 @@ type planData struct {
 	prog         *legion.Program
 	scheduleText string
 	notation     string
-	output       string // LHS tensor/region name
+	output       string   // LHS tensor/region name
+	tensorNames  []string // statement order: LHS first, then RHS left to right
 	launches     int
 	points       int // total index-launch domain points
 }
 
-func newPlanData(prog *legion.Program, scheduleText, notation, output string) *planData {
+func newPlanData(prog *legion.Program, scheduleText, notation, output string, tensorNames []string) *planData {
 	pd := &planData{
 		prog:         prog,
 		scheduleText: scheduleText,
 		notation:     notation,
 		output:       output,
+		tensorNames:  tensorNames,
 		launches:     len(prog.Launches),
 	}
 	for _, l := range prog.Launches {
@@ -87,6 +89,27 @@ func (p *Plan) Notation() string { return p.data.notation }
 
 // Stats reports how this Compile call was satisfied and the program's size.
 func (p *Plan) Stats() CompileStats { return p.stats }
+
+// Tensors returns the names of the statement's tensors in statement order
+// (LHS first, then RHS tensors left to right, duplicates dropped) — the
+// canonical order wire protocols move tensor data in. The caller must not
+// mutate the returned slice.
+func (p *Plan) Tensors() []string { return p.data.tensorNames }
+
+// Output returns the name of the statement's LHS tensor: the tensor a real
+// execution computes into.
+func (p *Plan) Output() string { return p.data.output }
+
+// Shape returns the compiled shape of the named tensor, or nil when the
+// plan has no tensor of that name.
+func (p *Plan) Shape(name string) []int {
+	for _, r := range p.data.prog.Regions {
+		if r.Name == name {
+			return r.Shape
+		}
+	}
+	return nil
+}
 
 // Program exposes the plan's compiled program through the legacy Program
 // handle, for callers still on the pre-Plan execution surface.

@@ -631,7 +631,7 @@ func (c *Computation) compileInput() core.Input {
 // newPlanData wraps a freshly compiled program with this computation's
 // descriptive metadata for caching.
 func (c *Computation) newPlanData(prog *legion.Program) *planData {
-	return newPlanData(prog, c.sched.String(), cin.Build(c.sched).String(), c.Stmt.LHS.Tensor)
+	return newPlanData(prog, c.sched.String(), cin.Build(c.sched).String(), c.Stmt.LHS.Tensor, c.Stmt.TensorNames())
 }
 
 // Notation returns the concrete index notation of the scheduled statement
