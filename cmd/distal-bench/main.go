@@ -23,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"distal"
@@ -38,6 +40,7 @@ func main() {
 	diffPath := flag.String("diff", "", "compare the metrics sweep against this baseline JSON (e.g. BENCH_PR2.json) and exit non-zero on regression")
 	tol := flag.Float64("tol", 0.20, "regression tolerance for -diff on simulated makespans, as a fraction (0.20 = 20%)")
 	wallTol := flag.Float64("walltol", 1.0, "regression tolerance for -diff on total compile/simulate wall time; generous by default because baselines may be recorded on different hardware")
+	improve := flag.String("improve", "", "with -diff: comma-separated name:factor hot-path improvement requirements (e.g. cold-execute-real:0.8 demands the row beat the baseline by 20%); runs the hot-path suite and fails unless each named row's time is <= baseline*factor")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -62,20 +65,47 @@ func main() {
 	// The metrics sweep is shared: computed once whether it is printed
 	// (-exp metrics), written (-json), diffed (-diff), or all three.
 	if *exp == "metrics" || *jsonPath != "" || *diffPath != "" {
+		required, err := parseImprove(*improve)
+		fail(err)
 		rows, err := experiments.Metrics(*nodes)
 		fail(err)
 		if *exp == "metrics" {
 			fmt.Println(experiments.RenderMetrics(rows))
 		}
-		if *jsonPath != "" {
-			hot, err := experiments.Hotpath(3)
+		// The hot-path suite is measured once whether it is being recorded
+		// (-json) or gated (-improve).
+		var hot []experiments.HotpathRow
+		if *jsonPath != "" || len(required) > 0 {
+			hot, err = experiments.Hotpath(3)
 			fail(err)
+		}
+		if *jsonPath != "" {
 			fail(writeJSON(*jsonPath, *nodes, rows, hot))
 		}
 		if *diffPath != "" {
-			fail(diffAgainst(*diffPath, *nodes, rows, *tol, *wallTol))
+			fail(diffAgainst(*diffPath, *nodes, rows, hot, required, *tol, *wallTol))
 		}
 	}
+}
+
+// parseImprove parses the -improve flag: comma-separated name:factor pairs.
+func parseImprove(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	required := map[string]float64{}
+	for _, part := range strings.Split(s, ",") {
+		name, factorText, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad -improve entry %q: want name:factor", part)
+		}
+		factor, err := strconv.ParseFloat(factorText, 64)
+		if err != nil || factor <= 0 {
+			return nil, fmt.Errorf("bad -improve factor in %q: want a positive number", part)
+		}
+		required[name] = factor
+	}
+	return required, nil
 }
 
 // benchReport is the schema of -json output: one file per benchmark run,
@@ -99,11 +129,13 @@ func writeJSON(path string, nodes int, rows []experiments.MetricRow, hot []exper
 
 // diffAgainst compares the fresh metrics rows with a recorded baseline and
 // fails on regression: per-row simulated makespan beyond tol (these are
-// deterministic) and total compile/simulate wall time beyond wallTol. The
-// baseline must have been recorded at the same -nodes count — rows match by
+// deterministic) and total compile/simulate wall time beyond wallTol. When
+// improvement requirements are given (-improve), the baseline's hot-path
+// rows must additionally be beaten by the required factors. The baseline
+// must have been recorded at the same -nodes count — rows match by
 // (experiment, config), so comparing different weak-scaled problem sizes
 // would produce spurious regressions or silent green passes.
-func diffAgainst(path string, nodes int, rows []experiments.MetricRow, tol, wallTol float64) error {
+func diffAgainst(path string, nodes int, rows []experiments.MetricRow, hot []experiments.HotpathRow, required map[string]float64, tol, wallTol float64) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -116,8 +148,13 @@ func diffAgainst(path string, nodes int, rows []experiments.MetricRow, tol, wall
 		return fmt.Errorf("baseline %s was recorded at -nodes %d, this run uses -nodes %d: re-record the baseline or match the node count", path, baseline.Nodes, nodes)
 	}
 	regressions := experiments.DiffMetrics(baseline.Rows, rows, tol, wallTol)
+	regressions = append(regressions, experiments.DiffHotpath(baseline.Hotpath, hot, required)...)
 	if len(regressions) == 0 {
-		fmt.Printf("bench diff vs %s: ok (%d rows within %.0f%%)\n", path, len(rows), tol*100)
+		fmt.Printf("bench diff vs %s: ok (%d rows within %.0f%%", path, len(rows), tol*100)
+		if len(required) > 0 {
+			fmt.Printf(", %d hot-path improvement requirement(s) met", len(required))
+		}
+		fmt.Println(")")
 		return nil
 	}
 	for _, r := range regressions {

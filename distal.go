@@ -398,6 +398,12 @@ func WithTransientWindow(n int) ExecOption { return legion.WithTransientWindow(n
 // data bound.
 func WithReal() ExecOption { return legion.WithReal() }
 
+// WithRealWorkers bounds the worker pool executing Real-mode leaf kernels
+// (independent tasks of a launch run concurrently). Zero, the default, uses
+// min(GOMAXPROCS, 16); 1 runs kernels serially. Results and simulated
+// metrics are identical at any setting.
+func WithRealWorkers(n int) ExecOption { return legion.WithRealWorkers(n) }
+
 // LassenCPU returns the per-socket CPU cost model of the paper's testbed
 // (each Lassen node has two sockets; DISTAL reserves cores for the
 // runtime).

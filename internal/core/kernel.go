@@ -2,33 +2,76 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"distal/internal/ir"
 	"distal/internal/legion"
 	"distal/internal/schedule"
 )
 
+// kernelScratch is the per-worker scratch of one compiled-kernel task
+// invocation: value buffers, registers, bound access surfaces, and the row
+// offset/stride tables. Instances are pooled on the plan (compiler.kpool),
+// so batch and wire serving reuse a handful of scratches across every task
+// of every execution instead of churning the garbage collector with five
+// allocations per task. A scratch is owned by exactly one task invocation
+// at a time; the pool makes tasks of a shared cached plan safe to run
+// concurrently (each worker gets its own).
+type kernelScratch struct {
+	vals       []int
+	origVals   []int
+	idx        []int
+	regs       []float64
+	loads      []boundAccess
+	loadOff    []int
+	loadStride []int
+}
+
+func newKernelScratch(nv, nOrig, nOps, nAcc, nLeaf int) *kernelScratch {
+	return &kernelScratch{
+		vals:       make([]int, nv),
+		origVals:   make([]int, nOrig),
+		idx:        make([]int, nLeaf),
+		regs:       make([]float64, nOps),
+		loads:      make([]boundAccess, nAcc),
+		loadOff:    make([]int, nAcc),
+		loadStride: make([]int, nAcc),
+	}
+}
+
+// release drops the tensor references bound during the task (so a pooled
+// scratch never keeps an execution's data alive) and returns the scratch.
+func (ks *kernelScratch) release(pool *sync.Pool) {
+	for i := range ks.loads {
+		ks.loads[i] = boundAccess{}
+	}
+	pool.Put(ks)
+}
+
 // realKernel builds the Real-mode leaf body for one launch: a fused einsum
 // loop nest over the leaf variables that reconstructs original index values
 // from the schedule's derivations, skips out-of-extent points (ragged
 // blocks), and combines into the LHS through the task's write requirement.
 //
-// The default body executes the plan's compiled kernelProg (kernelprog.go):
-// raw storage surfaces are resolved once per task and every leaf point costs
-// one integer ValueProgram pass plus one register-program pass — no
-// interface dispatch, no map lookups, no per-point allocation. The
-// tree-walking kernel below remains as a fallback (Input.TreeKernel) and as
-// the reference the compiled program is asserted bit-identical against.
-// Per-invocation scratch keeps tasks of a shared cached plan safe to run
-// concurrently.
+// The default body executes the plan's compiled kernelProg (kernelprog.go)
+// with raw storage surfaces resolved once per task. When the plan's row plan
+// exists — every original variable's reconstruction is affine in the
+// innermost leaf variable (see schedule.ValueProgram.CompileRow) — the body
+// is strided: the odometer and ValueProgram run once per row, every access
+// offset advances by a constant element stride, and the inner loop is pure
+// float traffic (a fused multiply-accumulate for the one-multiply reduce
+// shape). Ragged boundary rows fall back to the per-point walk, so results
+// are bit-identical to the tree-walking fallback (Input.TreeKernel), which
+// remains the reference the compiled program is asserted against. Scratch
+// is pooled per worker (kernelScratch), so a task allocates nothing.
 func (c *compiler) realKernel(seq map[string]int) func(ctx *legion.Ctx) {
 	if c.in.TreeKernel {
 		return c.treeKernel(seq)
 	}
 	kp := c.kprog
 	ev := c.ev
-	nv := ev.NumVars()
-	nOrig := len(ev.OrigIDs())
+	pool := c.kpool
+	rp := c.rowPlan
 
 	type binding struct{ id, val int }
 	var seqBind []binding
@@ -42,33 +85,105 @@ func (c *compiler) realKernel(seq map[string]int) func(ctx *legion.Ctx) {
 		leafIDs[i] = ev.VarID(name)
 		leafExt[i] = c.extents[name]
 	}
+	var steps []int
+	if rp != nil {
+		steps = rp.Steps()
+	}
 
 	return func(ctx *legion.Ctx) {
-		vals := make([]int, nv)
-		origVals := make([]int, nOrig)
-		regs := make([]float64, len(kp.ops))
+		ks := pool.Get().(*kernelScratch)
+		defer ks.release(pool)
+		vals, origVals, regs, loads := ks.vals, ks.origVals, ks.regs, ks.loads
 		for i, id := range distIDs {
 			vals[id] = ctx.Point[i]
 		}
 		for _, b := range seqBind {
 			vals[b.id] = b.val
 		}
-		loads := make([]boundAccess, len(kp.accesses))
 		for i := range kp.accesses {
 			loads[i] = kp.accesses[i].bindRead(ctx)
 		}
 		store := kp.store.bindWrite(ctx)
 
-		// Odometer over the leaf variables (innermost last, matching the
-		// tree kernel's row-major walk).
 		for _, ext := range leafExt {
 			if ext <= 0 {
 				return
 			}
 		}
-		idx := make([]int, len(leafIDs))
 		for _, id := range leafIDs {
 			vals[id] = 0
+		}
+
+		if rp != nil && len(leafIDs) > 0 {
+			// Strided rows: the outer odometer walks every assignment of the
+			// non-innermost leaf variables; each row costs one RowRun pass
+			// plus base-offset computation, then a tight strided loop.
+			inner := len(leafIDs) - 1
+			innerID := leafIDs[inner]
+			innerExt := leafExt[inner]
+			// Element strides per unit of the innermost variable: canonical
+			// read surfaces are fixed per execution, the store's depends on
+			// the task's accumulator, so both resolve here, once per task.
+			for i := range loads {
+				s := 0
+				for d, pos := range kp.accesses[i].pos {
+					s += steps[pos] * loads[i].stride[d]
+				}
+				ks.loadStride[i] = s
+			}
+			sstride := 0
+			for d, pos := range kp.store.pos {
+				sstride += steps[pos] * store.stride[d]
+			}
+			idx := ks.idx[:inner]
+			for i := range idx {
+				idx[i] = 0
+			}
+			for {
+				vals[innerID] = 0
+				n := kp.vp.RowRun(rp, vals, origVals)
+				if n > innerExt {
+					n = innerExt
+				}
+				if n > 0 {
+					for i := range loads {
+						ks.loadOff[i] = loads[i].offset(origVals)
+					}
+					kp.runRow(loads, ks.loadOff, ks.loadStride, store.data, store.offset(origVals), sstride, regs, n)
+				}
+				// Ragged boundary rows: finish per-point so any point the
+				// prefix bound excluded is re-judged by the reference walk —
+				// the strided path can under-run a row but never diverge.
+				for x := n; x < innerExt; x++ {
+					vals[innerID] = x
+					if kp.vp.Run(vals, origVals) {
+						kp.run(loads, &store, regs, origVals)
+					}
+				}
+				d := inner - 1
+				for d >= 0 {
+					idx[d]++
+					if idx[d] < leafExt[d] {
+						vals[leafIDs[d]] = idx[d]
+						break
+					}
+					idx[d] = 0
+					vals[leafIDs[d]] = 0
+					d--
+				}
+				if d < 0 {
+					return
+				}
+			}
+		}
+
+		// Per-point odometer over the leaf variables (innermost last,
+		// matching the tree kernel's row-major walk): the fallback when no
+		// leaf loops exist or the innermost reconstruction is not affine
+		// (e.g. a rotation of the innermost variable).
+		idx := ks.idx[:len(leafIDs)]
+		for i := range idx {
+			idx[i] = 0
 		}
 		for {
 			if kp.vp.Run(vals, origVals) {

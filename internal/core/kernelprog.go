@@ -62,7 +62,13 @@ type kernelProg struct {
 	store    accessPlan
 	accesses []accessPlan // kLoad targets, RHS postorder
 	reduces  bool
-	vp       *schedule.ValueProgram
+	// fma marks the one-multiply reduce shape (store += load*load): the
+	// strided row loop lowers it to a fused multiply-accumulate with no
+	// register traffic. Detected once at lowering; the FMA loop performs
+	// the same floating-point operations in the same order as the generic
+	// register walk, so results stay bit-identical.
+	fma bool
+	vp  *schedule.ValueProgram
 }
 
 // compileKernelProg lowers stmt's RHS against the plan's evaluator.
@@ -99,6 +105,10 @@ func compileKernelProg(stmt *ir.Assignment, ev *schedule.Evaluator, reduces bool
 		return int32(len(kp.ops) - 1)
 	}
 	kp.out = lower(stmt.RHS)
+	kp.fma = kp.reduces && len(kp.ops) == 3 &&
+		kp.ops[0].kind == kLoad && kp.ops[1].kind == kLoad &&
+		kp.ops[2].kind == kMul && kp.ops[2].a == 0 && kp.ops[2].b == 1 &&
+		kp.out == 2
 	return kp
 }
 
@@ -153,5 +163,63 @@ func (kp *kernelProg) run(loads []boundAccess, store *boundAccess, regs []float6
 		store.data[store.offset(origVals)] += v
 	} else {
 		store.data[store.offset(origVals)] = v
+	}
+}
+
+// runRow executes the program for n consecutive in-space points of one row:
+// every load's element offset starts at offs[i] and advances by strides[i]
+// per point, the store offset starts at soff and advances by sstride. The
+// odometer and ValueProgram ran once (at the row origin); this loop is pure
+// float traffic over raw storage. Operation order per point matches run
+// exactly, so strided rows are bit-identical to the per-point walk.
+func (kp *kernelProg) runRow(loads []boundAccess, offs, strides []int, sdata []float64, soff, sstride int, regs []float64, n int) {
+	if kp.fma {
+		a, b := loads[0].data, loads[1].data
+		ia, ib := offs[0], offs[1]
+		sa, sb := strides[0], strides[1]
+		if sstride == 0 {
+			// The common einsum shape (e.g. matmul with the reduction loop
+			// innermost): the store cell is row-invariant, so the partial sum
+			// lives in a register for the whole row.
+			acc := sdata[soff]
+			for x := 0; x < n; x++ {
+				acc += a[ia] * b[ib]
+				ia += sa
+				ib += sb
+			}
+			sdata[soff] = acc
+			return
+		}
+		for x := 0; x < n; x++ {
+			sdata[soff] += a[ia] * b[ib]
+			ia += sa
+			ib += sb
+			soff += sstride
+		}
+		return
+	}
+	for x := 0; x < n; x++ {
+		for i := range kp.ops {
+			op := &kp.ops[i]
+			switch op.kind {
+			case kLoad:
+				regs[i] = loads[op.acc].data[offs[op.acc]]
+			case kLit:
+				regs[i] = op.lit
+			case kAdd:
+				regs[i] = regs[op.a] + regs[op.b]
+			case kMul:
+				regs[i] = regs[op.a] * regs[op.b]
+			}
+		}
+		if kp.reduces {
+			sdata[soff] += regs[kp.out]
+		} else {
+			sdata[soff] = regs[kp.out]
+		}
+		for i := range offs {
+			offs[i] += strides[i]
+		}
+		soff += sstride
 	}
 }

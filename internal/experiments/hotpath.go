@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"distal/internal/algorithms"
@@ -98,6 +99,7 @@ func Hotpath(runs int) ([]HotpathRow, error) {
 		{"cold-execute-sim", execute(johnson, legion.Options{Params: sim.LassenGPU()})},
 		{"cold-execute-real", execute(realCompiled, legion.Options{Params: sim.LassenCPU(), Real: true})},
 		{"cold-execute-real-tree", execute(realTree, legion.Options{Params: sim.LassenCPU(), Real: true})},
+		{"blocked-matmul-ref", blockedMatmulRef(128, 32)},
 	}
 	wireCases, closeWire, err := wireHotpath()
 	if err != nil {
@@ -114,6 +116,87 @@ func Hotpath(runs int) ([]HotpathRow, error) {
 		rows = append(rows, HotpathRow{Name: c.name, MS: ms, Runs: runs})
 	}
 	return rows, nil
+}
+
+// blockedMatmulRef is the throughput yardstick for cold-execute-real: a
+// hand-written cache-blocked n x n matmul (a = b*c, block x block tiles,
+// accumulation order matching the tiled schedules) with no compiler, no
+// executor, and no cost model in the loop. The gap between this row and
+// cold-execute-real is the end-to-end overhead of compiling, pricing, and
+// dispatching the same multiply through the full stack. Buffers are
+// allocated once outside the timed closure; the output is re-zeroed per run
+// so every attempt does identical work.
+func blockedMatmulRef(n, block int) func() error {
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	c := make([]float64, n*n)
+	for i := range b {
+		b[i] = float64(i%7) + 0.25
+		c[i] = float64(i%5) + 0.5
+	}
+	return func() error {
+		for i := range a {
+			a[i] = 0
+		}
+		for ib := 0; ib < n; ib += block {
+			for jb := 0; jb < n; jb += block {
+				for kb := 0; kb < n; kb += block {
+					for i := ib; i < ib+block; i++ {
+						for j := jb; j < jb+block; j++ {
+							acc := a[i*n+j]
+							for k := kb; k < kb+block; k++ {
+								acc += b[i*n+k] * c[k*n+j]
+							}
+							a[i*n+j] = acc
+						}
+					}
+				}
+			}
+		}
+		if a[0] == math.Inf(1) {
+			return fmt.Errorf("blocked matmul overflow") // keeps the loop observable
+		}
+		return nil
+	}
+}
+
+// DiffHotpath checks hot-path improvement requirements: for every name in
+// required, the current row's wall time must be at most factor times the
+// baseline row's (factor 0.8 demands a 20% improvement; 1.0 demands
+// no-worse). Rows missing on either side fail the requirement — an
+// improvement gate should never pass silently because a measurement
+// disappeared. Returns one message per violated requirement.
+func DiffHotpath(baseline, current []HotpathRow, required map[string]float64) []string {
+	base := map[string]HotpathRow{}
+	for _, r := range baseline {
+		base[r.Name] = r
+	}
+	cur := map[string]HotpathRow{}
+	for _, r := range current {
+		cur[r.Name] = r
+	}
+	names := make([]string, 0, len(required))
+	for name := range required {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var violations []string
+	for _, name := range names {
+		factor := required[name]
+		b, okB := base[name]
+		c, okC := cur[name]
+		switch {
+		case !okB:
+			violations = append(violations, fmt.Sprintf("hotpath %s: missing from baseline", name))
+		case !okC:
+			violations = append(violations, fmt.Sprintf("hotpath %s: missing from current run", name))
+		case c.MS > b.MS*factor:
+			violations = append(violations, fmt.Sprintf(
+				"hotpath %s: %.2fms -> %.2fms (need <= %.2fms, factor %.2f)",
+				name, b.MS, c.MS, b.MS*factor, factor))
+		}
+	}
+	return violations
 }
 
 // DiffMetrics compares a fresh metrics run against a baseline and returns

@@ -3,7 +3,10 @@ package legion
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"distal/internal/machine"
 	"distal/internal/sim"
@@ -31,6 +34,14 @@ type Options struct {
 	// TransientWindow is how many transient instances per (region, leaf) are
 	// kept live for reuse (double buffering and systolic relay). Default 2.
 	TransientWindow int
+	// RealWorkers bounds the worker pool that executes Real-mode leaf
+	// kernels. Kernel invocations for independent tasks of one launch —
+	// tasks writing through distinct, non-overlapping accumulators — fan out
+	// over the pool; simulated-time accounting stays serial regardless, so
+	// metrics are identical at any worker count, and tasks sharing an
+	// accumulator run in point order, so Real results are bit-identical to
+	// serial execution. Zero means min(GOMAXPROCS, 16); 1 disables the pool.
+	RealWorkers int
 	// Trace records every copy for inspection.
 	Trace bool
 }
@@ -197,6 +208,18 @@ type executor struct {
 	instSeq int64       // next transient installation sequence number
 	steps   int         // points since the last cancellation checkpoint
 
+	// Real-mode task batch: runLaunch defers kernel invocations here and
+	// runRealTasks drains them over the worker pool at the launch's end.
+	// Everything below is per-launch scratch reused across launches.
+	workers   int        // resolved Options.RealWorkers
+	realTasks []*Ctx     // deferred tasks, in point order
+	ctxFree   []*Ctx     // Ctx free list (map storage reuse)
+	pointSlab []int      // per-launch backing for deferred tasks' Points
+	ufParent  []int32    // union-find scratch for task grouping
+	taskAccs  []*accumulator         // per-point write-target buffer
+	accFirst  map[*accumulator]int32 // accumulator -> first task using it
+	readSet   map[*Region]bool       // regions read by the current launch
+
 	// Double-buffering throttle: copies for a leaf's task in launch s may
 	// not start before its task in launch s-TransientWindow completed
 	// (prefetch depth matches the instance window, as Legion's deferred
@@ -233,6 +256,10 @@ func RunContext(ctx context.Context, p *Program, opt Options) (*Result, error) {
 		gpuMem: p.Machine.LeafMem() == machine.GPUFBMem,
 		reg:    map[*Region]*regState{},
 		accs:   map[accKey]*accumulator{},
+	}
+	e.workers = opt.RealWorkers
+	if e.workers <= 0 {
+		e.workers = min(runtime.GOMAXPROCS(0), 16)
 	}
 	if err := e.placeInitial(); err != nil {
 		return nil, err
@@ -324,19 +351,48 @@ func (e *executor) placeInitial() error {
 	return nil
 }
 
+// runLaunch walks the launch domain once, serially, doing all simulated-time
+// accounting (copy pricing, compute charging, accumulator lifetimes) exactly
+// as the point order dictates — the cost model never sees the worker pool,
+// so simulated metrics are identical at any worker count. In Real mode the
+// kernel invocations are not interleaved with the accounting: each task's
+// bindings are captured in a pooled Ctx and deferred, and the batch drains
+// over the worker pool at the launch's end (runRealTasks). The launch
+// boundary is a barrier for real work, so cross-launch data dependences and
+// the accumulator flush order are untouched.
 func (e *executor) runLaunch(l *Launch) error {
 	mapPoint := l.MapPoint
 	if mapPoint == nil {
 		mapPoint = defaultMapPoint(l.Domain, e.lg)
 	}
 	n := l.Domain.Size()
-	point := make([]int, l.Domain.Rank())
+	rank := l.Domain.Rank()
+	// The simulation path allocates nothing per point: one point buffer per
+	// launch, a reused write-target buffer, and no Ctx. Real-mode tasks get
+	// stable Point slices carved from a per-launch slab (Ctx retains them
+	// until the batch runs) and recycled Ctx maps.
+	deferKernels := e.opt.Real && l.Kernel.Run != nil
+	var point []int
+	if deferKernels {
+		if cap(e.pointSlab) < n*rank {
+			e.pointSlab = make([]int, n*rank)
+		}
+		if e.readSet == nil {
+			e.readSet = map[*Region]bool{}
+		}
+		clear(e.readSet)
+	} else {
+		point = make([]int, rank)
+	}
 	for i := 0; i < n; i++ {
 		if e.steps++; e.steps >= cancelCheckEvery {
 			e.steps = 0
 			if err := e.ctx.Err(); err != nil {
 				return err
 			}
+		}
+		if deferKernels {
+			point = e.pointSlab[i*rank : (i+1)*rank]
 		}
 		l.Domain.DelinearizeInto(i, point)
 		leaf := mapPoint(point)
@@ -354,10 +410,11 @@ func (e *executor) runLaunch(l *Launch) error {
 		}
 		taskReady := issueAt
 		var ctx *Ctx
-		if e.opt.Real {
-			ctx = &Ctx{Point: point, reads: map[string]*tensor.Dense{}, writes: map[string]*accumulator{}}
+		if deferKernels {
+			ctx = e.getCtx()
+			ctx.Point = point
 		}
-		var taskAccs []*accumulator
+		taskAccs := e.taskAccs[:0]
 		for _, q := range reqs {
 			if q.Rect.Empty() {
 				continue
@@ -373,6 +430,7 @@ func (e *executor) runLaunch(l *Launch) error {
 				}
 				if ctx != nil {
 					ctx.reads[q.Region.Name] = e.data[q.Region]
+					e.readSet[q.Region] = true
 				}
 			default:
 				acc := e.writeTarget(q, leaf)
@@ -382,8 +440,8 @@ func (e *executor) runLaunch(l *Launch) error {
 				}
 			}
 		}
-		if ctx != nil && l.Kernel.Run != nil {
-			l.Kernel.Run(ctx)
+		if ctx != nil {
+			e.realTasks = append(e.realTasks, ctx)
 		}
 		flops, bytes := 0.0, 0.0
 		if l.Kernel.Flops != nil {
@@ -401,8 +459,186 @@ func (e *executor) runLaunch(l *Launch) error {
 				a.lastUse = end
 			}
 		}
+		e.taskAccs = taskAccs[:0]
+	}
+	if deferKernels {
+		return e.runRealTasks(l)
 	}
 	return nil
+}
+
+// getCtx pops a recycled Ctx (or makes one) for a deferred Real-mode task.
+func (e *executor) getCtx() *Ctx {
+	if n := len(e.ctxFree); n > 0 {
+		c := e.ctxFree[n-1]
+		e.ctxFree = e.ctxFree[:n-1]
+		return c
+	}
+	return newCtx()
+}
+
+// runRealTasks executes the launch's deferred kernel invocations. Tasks are
+// grouped by write-safety — two tasks share a group when they write through
+// the same accumulator, or through in-place accumulators of one region whose
+// rects overlap (possible under replicated placements) — via union-find.
+// Groups touch pairwise-disjoint memory, so they fan out over the worker
+// pool; tasks within a group run in their original point order on one
+// worker, so floating-point accumulation order, and hence every result bit,
+// matches serial execution. If the launch reads a region some task writes in
+// place, the whole batch runs serially in point order (the only regime where
+// cross-task order is observable through reads).
+func (e *executor) runRealTasks(l *Launch) error {
+	tasks := e.realTasks
+	if len(tasks) == 0 {
+		return nil
+	}
+	defer func() {
+		for _, c := range tasks {
+			c.reset()
+			e.ctxFree = append(e.ctxFree, c)
+		}
+		e.realTasks = tasks[:0]
+	}()
+
+	serial := e.workers <= 1 || len(tasks) == 1
+	if !serial {
+		for _, c := range tasks {
+			for _, a := range c.writes {
+				if a.inPlace && e.readSet[a.region] {
+					serial = true
+				}
+			}
+		}
+	}
+	if serial {
+		for _, c := range tasks {
+			if err := e.ctx.Err(); err != nil {
+				return err
+			}
+			l.Kernel.Run(c)
+		}
+		return nil
+	}
+
+	// Union-find over task indices; path-halving find, min-root union keeps
+	// grouping deterministic.
+	parent := e.ufParent[:0]
+	for i := range tasks {
+		parent = append(parent, int32(i))
+	}
+	e.ufParent = parent[:0]
+	find := func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if ra < rb {
+			parent[rb] = ra
+		} else {
+			parent[ra] = rb
+		}
+	}
+	if e.accFirst == nil {
+		e.accFirst = map[*accumulator]int32{}
+	}
+	clear(e.accFirst)
+	type ipAcc struct {
+		task int32
+		acc  *accumulator
+	}
+	var inPlace []ipAcc
+	for i, c := range tasks {
+		for _, a := range c.writes {
+			if first, ok := e.accFirst[a]; ok {
+				union(int32(i), first)
+				continue
+			}
+			e.accFirst[a] = int32(i)
+			if a.inPlace {
+				for _, p := range inPlace {
+					if p.acc.region == a.region && !p.acc.rect.Intersect(a.rect).Empty() {
+						union(int32(i), p.task)
+					}
+				}
+				inPlace = append(inPlace, ipAcc{task: int32(i), acc: a})
+			}
+		}
+	}
+
+	// Bucket tasks by component, buckets ordered by first member, members in
+	// point order.
+	bucketOf := map[int32]int{}
+	var buckets [][]*Ctx
+	for i := range tasks {
+		r := find(int32(i))
+		b, ok := bucketOf[r]
+		if !ok {
+			b = len(buckets)
+			bucketOf[r] = b
+			buckets = append(buckets, nil)
+		}
+		buckets[b] = append(buckets[b], tasks[i])
+	}
+
+	w := min(e.workers, len(buckets))
+	if w <= 1 {
+		for _, c := range tasks {
+			if err := e.ctx.Err(); err != nil {
+				return err
+			}
+			l.Kernel.Run(c)
+		}
+		return nil
+	}
+	var next atomic.Int32
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var panicked any
+	var runErr error
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					mu.Unlock()
+				}
+			}()
+			for {
+				bi := int(next.Add(1) - 1)
+				if bi >= len(buckets) {
+					return
+				}
+				for _, c := range buckets[bi] {
+					if err := e.ctx.Err(); err != nil {
+						mu.Lock()
+						if runErr == nil {
+							runErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					l.Kernel.Run(c)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	return runErr
 }
 
 // ensureLocal makes the data of requirement q available in leaf's memory and

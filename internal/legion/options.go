@@ -45,5 +45,10 @@ func WithOwnerOnly() Option { return func(o *Options) { o.OwnerOnly = true } }
 // stay live for reuse.
 func WithTransientWindow(n int) Option { return func(o *Options) { o.TransientWindow = n } }
 
+// WithRealWorkers bounds the worker pool for Real-mode leaf kernels. Zero
+// (the default) uses min(GOMAXPROCS, 16); 1 runs kernels serially. Results
+// and simulated metrics are identical at any setting.
+func WithRealWorkers(n int) Option { return func(o *Options) { o.RealWorkers = n } }
+
 // WithTrace records every copy for inspection.
 func WithTrace() Option { return func(o *Options) { o.Trace = true } }

@@ -1,10 +1,7 @@
 package legion
 
 import (
-	"fmt"
-
 	"distal/internal/machine"
-	"distal/internal/tensor"
 )
 
 // Kernel is the leaf computation of an index-launch point.
@@ -64,119 +61,4 @@ func defaultMapPoint(domain, leaves machine.Grid) func(point []int) int {
 	return func(point []int) int { return domain.Linearize(point) % n }
 }
 
-// Ctx gives a Real-mode leaf kernel access to the data of its region
-// requirements in global coordinates. Reads and writes resolve against the
-// execution's data binding (Options.Data overriding Region.Data), so one
-// immutable cached program can run on different data per execution.
-type Ctx struct {
-	// Point is the task's domain coordinate. The slice is reused across
-	// the launch; kernels must not retain it past their invocation.
-	Point  []int
-	reads  map[string]*tensor.Dense
-	writes map[string]*accumulator
-}
-
-// accumulator is a task-local output buffer covering a rect of a region. It
-// is combined into the canonical region data when reductions flush.
-type accumulator struct {
-	region  *Region
-	canon   *tensor.Dense // the execution's canonical data (Real mode only)
-	rect    tensor.Rect
-	key     tensor.RectKey
-	data    *tensor.Dense // indexed by local coordinates (global - rect.Lo)
-	combine Privilege     // ReduceSum accumulates; others overwrite
-	inPlace bool          // writes go directly to the canonical data
-	leaf    int
-	lastUse float64
-}
-
-// ReadAt returns the value of region name at the global coordinate p.
-// Reading is always satisfied from the canonical data: read-only inputs have
-// a single version for the duration of a program, so every valid instance
-// holds identical contents.
-func (c *Ctx) ReadAt(name string, p ...int) float64 {
-	t, ok := c.reads[name]
-	if !ok || t == nil {
-		panic(fmt.Sprintf("legion: task has no readable requirement on %s", name))
-	}
-	return t.At(p...)
-}
-
-// WriteAdd accumulates v into region name at the global coordinate p.
-func (c *Ctx) WriteAdd(name string, v float64, p ...int) {
-	a := c.acc(name)
-	if a.inPlace {
-		a.canon.Add(v, p...)
-		return
-	}
-	a.data.Add(v, local(p, a.rect)...)
-}
-
-// WriteSet stores v into region name at the global coordinate p.
-func (c *Ctx) WriteSet(name string, v float64, p ...int) {
-	a := c.acc(name)
-	if a.inPlace {
-		a.canon.Set(v, p...)
-		return
-	}
-	a.data.Set(v, local(p, a.rect)...)
-}
-
-// ReadLocalAt reads back a value previously written by this task's
-// write/reduce requirement (needed by += kernels that read their output).
-func (c *Ctx) ReadLocalAt(name string, p ...int) float64 {
-	a := c.acc(name)
-	if a.inPlace {
-		return a.canon.At(p...)
-	}
-	return a.data.At(local(p, a.rect)...)
-}
-
-// ReadSurface exposes the raw storage of the named read requirement: the
-// canonical backing slice and its row-major strides, addressed in global
-// coordinates (offset = dot(p, strides)). Compiled kernel programs use it to
-// read without per-point map lookups or bounds re-checks; the requirement
-// check happens once here instead of once per element.
-func (c *Ctx) ReadSurface(name string) (data []float64, strides []int) {
-	t, ok := c.reads[name]
-	if !ok || t == nil {
-		panic(fmt.Sprintf("legion: task has no readable requirement on %s", name))
-	}
-	return t.Data(), t.Strides()
-}
-
-// WriteSurface exposes the raw storage of the named write requirement. The
-// element at global coordinate p lives at data[base+dot(p, strides)]: for an
-// in-place instance that is the canonical tensor itself (base 0), for a
-// task-local accumulator the base folds the rect origin into the offset so
-// kernels address both cases identically.
-func (c *Ctx) WriteSurface(name string) (data []float64, strides []int, base int) {
-	a := c.acc(name)
-	t := a.data
-	if a.inPlace {
-		t = a.canon
-	}
-	strides = t.Strides()
-	if !a.inPlace {
-		for d, lo := range a.rect.Lo {
-			base -= lo * strides[d]
-		}
-	}
-	return t.Data(), strides, base
-}
-
-func (c *Ctx) acc(name string) *accumulator {
-	a, ok := c.writes[name]
-	if !ok {
-		panic(fmt.Sprintf("legion: task has no writable requirement on %s", name))
-	}
-	return a
-}
-
-func local(p []int, rect tensor.Rect) []int {
-	out := make([]int, len(p))
-	for d := range p {
-		out[d] = p[d] - rect.Lo[d]
-	}
-	return out
-}
+// Ctx and the accumulator live in ctx.go.

@@ -1,0 +1,150 @@
+package schedule
+
+import (
+	"testing"
+
+	"distal/internal/ir"
+)
+
+// rowTestProgram builds the ragged, rotated Cannon-style schedule used by
+// the value-program tests: every divide/split is non-divisible, so rows have
+// ragged tails in several variables at once.
+func rowTestProgram(t *testing.T) (*Schedule, *Evaluator, *ValueProgram, map[string]int) {
+	t.Helper()
+	stmt := ir.MustParse("A(i,j) = B(i,k) * C(k,j)")
+	s := New(stmt).
+		Divide("i", "io", "ii", 3). // 14/3 -> ragged blocks of 5
+		Divide("j", "jo", "ji", 4).
+		Split("k", "ko", "ki", 5). // 17/5 -> ragged tail
+		Reorder("io", "jo", "ko", "ii", "ji", "ki").
+		Distribute("io", "jo").
+		Rotate("ko", []string{"io", "jo"}, "kos")
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	ext, err := s.Extents(map[string]int{"i": 14, "j": 16, "k": 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := s.CompileEvaluator(ext)
+	return s, ev, ev.CompileValues(), ext
+}
+
+// TestRowPlanMatchesRun checks the two facts strided kernels lean on,
+// exhaustively over every row of a ragged rotated schedule: (1) RowRun's
+// prefix count is exact — a row point is in the iteration space if and only
+// if its index along the row is below the count; (2) each original
+// variable's value at row point x is its origin value plus x times the
+// plan's step.
+func TestRowPlanMatchesRun(t *testing.T) {
+	s, ev, vp, ext := rowTestProgram(t)
+	order := s.Order()
+	rowName := order[len(order)-1] // ki: the innermost leaf variable
+	rp := vp.CompileRow(ev.VarID(rowName))
+	if rp == nil {
+		t.Fatalf("CompileRow(%s) = nil; the innermost split variable must be affine", rowName)
+	}
+
+	outer := order[:len(order)-1]
+	ids := make([]int, len(outer))
+	dims := make([]int, len(outer))
+	for i, name := range outer {
+		ids[i] = ev.VarID(name)
+		dims[i] = ext[name]
+	}
+	rowID, rowExt := ev.VarID(rowName), ext[rowName]
+	nv := ev.NumVars()
+	vals := make([]int, nv)
+	refVals := make([]int, nv)
+	origin := make([]int, len(ev.OrigIDs()))
+	refOrig := make([]int, len(ev.OrigIDs()))
+	steps := rp.Steps()
+
+	asst := make([]int, len(outer))
+	rows, ragged := 0, 0
+	for {
+		for i, id := range ids {
+			vals[id] = asst[i]
+		}
+		vals[rowID] = 0
+		n := vp.RowRun(rp, vals, origin)
+		if n > rowExt {
+			n = rowExt
+		}
+		if n > 0 && n < rowExt {
+			ragged++
+		}
+		for x := 0; x < rowExt; x++ {
+			for i, id := range ids {
+				refVals[id] = asst[i]
+			}
+			refVals[rowID] = x
+			in := vp.Run(refVals, refOrig)
+			if in != (x < n) {
+				t.Fatalf("row %v point %d: Run in-bounds=%v but RowRun count=%d", asst, x, in, n)
+			}
+			if !in {
+				continue
+			}
+			for i := range refOrig {
+				if want := origin[i] + x*steps[i]; refOrig[i] != want {
+					t.Fatalf("row %v point %d: orig[%d] = %d, stepped origin gives %d (step %d)",
+						asst, x, i, refOrig[i], want, steps[i])
+				}
+			}
+		}
+		rows++
+		d := len(asst) - 1
+		for d >= 0 {
+			asst[d]++
+			if asst[d] < dims[d] {
+				break
+			}
+			asst[d] = 0
+			d--
+		}
+		if d < 0 {
+			break
+		}
+	}
+	if rows == 0 || ragged == 0 {
+		t.Fatalf("degenerate coverage: %d rows, %d ragged (want both full and ragged rows)", rows, ragged)
+	}
+}
+
+// TestCompileRowRejectsNonAffine pins the eligibility rule: a loop-order
+// variable that feeds a rotation (as its source or as an offset) or a
+// collapse reconstruction is not affine, so CompileRow must refuse and the
+// kernel must fall back to per-point evaluation.
+func TestCompileRowRejectsNonAffine(t *testing.T) {
+	_, ev, vp, _ := rowTestProgram(t)
+	// kos is the rotation's source: ko = (kos + io + jo) mod ext wraps.
+	if rp := vp.CompileRow(ev.VarID("kos")); rp != nil {
+		t.Fatal("CompileRow(kos) accepted a rotation source")
+	}
+	// io and jo are rotation offsets: same wraparound.
+	if rp := vp.CompileRow(ev.VarID("io")); rp != nil {
+		t.Fatal("CompileRow(io) accepted a rotation offset")
+	}
+
+	// A collapsed pair reconstructs through integer div/mod of the fused
+	// variable: not affine either.
+	stmt := ir.MustParse("A(i,j) = B(i,k) * C(k,j)")
+	s := New(stmt).Collapse("i", "j", "f")
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	ext, err := s.Extents(map[string]int{"i": 6, "j": 4, "k": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fev := s.CompileEvaluator(ext)
+	fvp := fev.CompileValues()
+	if rp := fvp.CompileRow(fev.VarID("f")); rp != nil {
+		t.Fatal("CompileRow(f) accepted a collapse source")
+	}
+	// k is untouched by the collapse and stays affine (step 1 into itself).
+	if rp := fvp.CompileRow(fev.VarID("k")); rp == nil {
+		t.Fatal("CompileRow(k) rejected an unconstrained affine variable")
+	}
+}

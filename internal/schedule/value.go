@@ -88,6 +88,121 @@ func (vp *ValueProgram) Run(vals []int, origVals []int) bool {
 	return true
 }
 
+// RowPlan describes how a ValueProgram behaves along one "row": every
+// loop-order variable held fixed except one (the row variable, typically a
+// kernel's innermost leaf loop), which steps through consecutive integers.
+// A plan exists only when every original variable's reconstruction is affine
+// in the row variable — reached only through divide/split reconstructions
+// (value = outer*block + inner, a constant step per unit of the row
+// variable) and through rotations/fusions that do not depend on it at all.
+// Then each original value advances by a constant per-row step, and the
+// in-space points of a row form a prefix: every divide/split check value is
+// non-decreasing in the row variable, so once one ragged-tail check fails it
+// fails for the rest of the row. Strided kernel loops lean on exactly these
+// two facts (see RowRun).
+type RowPlan struct {
+	rowVar  int32
+	steps   []int   // per original variable: d(value)/d(rowVar)
+	opSteps []int32 // per vp.ops entry: d(op value)/d(rowVar)
+}
+
+// Steps returns, per original statement variable (stmt.Vars() order), how
+// much its reconstructed value advances when the row variable advances by
+// one. The returned slice must not be modified.
+func (rp *RowPlan) Steps() []int { return rp.steps }
+
+// CompileRow analyzes the program's dependence on one loop-order variable
+// and returns a RowPlan, or nil when some reconstruction is not affine in it
+// (the variable feeds a rotation's modulus or a fusion's div/mod — callers
+// fall back to per-point evaluation). rowVar must be a loop-order variable
+// id (never the target of an op).
+func (vp *ValueProgram) CompileRow(rowVar int) *RowPlan {
+	rp := &RowPlan{
+		rowVar:  int32(rowVar),
+		steps:   make([]int, len(vp.orig)),
+		opSteps: make([]int32, len(vp.ops)),
+	}
+	step := make([]int32, vp.nv)
+	step[rowVar] = 1
+	for i := range vp.ops {
+		op := &vp.ops[i]
+		switch op.kind {
+		case valDivSplit:
+			s := step[op.a]*op.p + step[op.b]
+			rp.opSteps[i] = s
+			step[op.id] = s
+		case valRotate:
+			if step[op.a] != 0 {
+				return nil // wraps mod extent: not affine in the row variable
+			}
+			for _, o := range op.offsets {
+				if step[o] != 0 {
+					return nil
+				}
+			}
+		case valFuseOuter, valFuseInner:
+			if step[op.a] != 0 {
+				return nil // integer div/mod: not affine in the row variable
+			}
+		case valZero:
+			// Constant.
+		}
+	}
+	for i, id := range vp.orig {
+		rp.steps[i] = int(step[id])
+	}
+	return rp
+}
+
+// RowRun evaluates the program at a row's origin (the caller binds the row
+// variable to 0 in vals, all other loop-order variables to their values) and
+// returns how many consecutive points of the row, starting at the origin,
+// lie inside the iteration space. origVals receives the original variables'
+// values at the origin; along the row, original variable i advances by
+// rp.Steps()[i] per point. A return of 0 means the whole row is outside
+// (the caller skips it). RowRun performs no allocation.
+//
+// The count is exact, not conservative: the only way a full assignment can
+// leave the iteration space is a divide/split ragged-tail check, each check
+// value is affine with non-negative step in the row variable (rp exists only
+// then), so the in-space points are precisely the prefix RowRun reports.
+func (vp *ValueProgram) RowRun(rp *RowPlan, vals []int, origVals []int) int {
+	limit := int(^uint(0) >> 1) // MaxInt: rows are clamped by the caller's loop extent
+	for i := range vp.ops {
+		op := &vp.ops[i]
+		switch op.kind {
+		case valDivSplit:
+			v := vals[op.a]*int(op.p) + vals[op.b]
+			ext := int(op.ext)
+			if v >= ext {
+				return 0
+			}
+			if s := int(rp.opSteps[i]); s > 0 {
+				if n := (ext - v + s - 1) / s; n < limit {
+					limit = n
+				}
+			}
+			vals[op.id] = v
+		case valRotate:
+			s := vals[op.a]
+			for _, o := range op.offsets {
+				s += vals[o]
+			}
+			vals[op.id] = s % int(op.ext)
+		case valFuseOuter:
+			vals[op.id] = vals[op.a] / int(op.p)
+		case valFuseInner:
+			vals[op.id] = vals[op.a] % int(op.p)
+		case valZero:
+			vals[op.id] = 0
+		}
+	}
+	for i, id := range vp.orig {
+		origVals[i] = vals[id]
+	}
+	return limit
+}
+
 // CompileValues lowers the evaluator to the value domain. The resulting
 // program assumes every loop-order variable is bound by the caller; it
 // contains one op per replaced variable on a path from the loop order to a
