@@ -40,7 +40,7 @@ func main() {
 	diffPath := flag.String("diff", "", "compare the metrics sweep against this baseline JSON (e.g. BENCH_PR2.json) and exit non-zero on regression")
 	tol := flag.Float64("tol", 0.20, "regression tolerance for -diff on simulated makespans, as a fraction (0.20 = 20%)")
 	wallTol := flag.Float64("walltol", 1.0, "regression tolerance for -diff on total compile/simulate wall time; generous by default because baselines may be recorded on different hardware")
-	improve := flag.String("improve", "", "with -diff: comma-separated name:factor hot-path improvement requirements (e.g. cold-execute-real:0.8 demands the row beat the baseline by 20%); runs the hot-path suite and fails unless each named row's time is <= baseline*factor")
+	improve := flag.String("improve", "", "with -diff: comma-separated name:factor hot-path improvement requirements (e.g. cold-execute-real:0.8 demands the row beat the baseline by 20%); a<b:factor compares two rows of the current run instead (batch-run-8<seq-run-8:0.9 demands the batched walk beat eight sequential runs by 10%); runs the hot-path suite and fails unless every requirement holds")
 	flag.Parse()
 
 	fail := func(err error) {

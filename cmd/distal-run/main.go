@@ -11,6 +11,7 @@
 //	    -in B=rand:1 -in C=ones -out A.dt
 //	distal-run ... -in B=b.dt -in C=c.dt        # ship local tensors
 //	distal-run ... -verify                      # check numerics client-side
+//	distal-run ... -batch 8 -in B=rand:1 ...    # 8 instances, one plan walk
 //
 // Each -in names an input tensor and gives either a fill directive executed
 // server-side (zero, ones, rand:<seed>) or a path to a .dt tensor file
@@ -18,6 +19,12 @@
 // Unnamed inputs default to zero. With -verify, the client reconstructs the
 // fills locally, evaluates the statement with the reference interpreter, and
 // exits nonzero unless the streamed result matches.
+//
+// -batch N executes N problem instances through the same cached plan in a
+// single launch walk server-side. rand fills draw each instance from
+// seed+instance; .dt file inputs ship the same tensor to every instance.
+// -out writes the N output frames concatenated into one file, and -verify
+// checks every instance against the reference interpreter.
 package main
 
 import (
@@ -52,6 +59,7 @@ func main() {
 	out := flag.String("out", "", "write the output tensor to this .dt file")
 	timeout := flag.Duration("timeout", 2*time.Minute, "request deadline")
 	verify := flag.Bool("verify", false, "re-evaluate locally with the reference interpreter and compare")
+	batch := flag.Int("batch", 0, "execute N problem instances through one cached plan in a single walk (0 = single-instance)")
 	flag.Parse()
 
 	if *stmt == "" {
@@ -94,6 +102,10 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 	client := &wire.Client{BaseURL: strings.TrimRight(*addr, "/")}
+	if *batch > 0 {
+		runBatch(ctx, client, req, data, *batch, *out, *verify, *stmt)
+		return
+	}
 	result, stats, err := client.Run(ctx, req, data)
 	if err != nil {
 		log.Fatalf("distal-run: %v", err)
@@ -118,10 +130,86 @@ func main() {
 	}
 }
 
+// runBatch executes -batch N: the same request over N problem instances in
+// one server-side launch walk. File-sourced inputs ship the same tensor to
+// every instance; rand fills diverge per instance (seed+i on both ends, so
+// -verify can reconstruct each instance exactly). Exits nonzero when any
+// instance fails or any verification disagrees.
+func runBatch(ctx context.Context, client *wire.Client, req wire.RunRequest, data map[string]*tensor.Dense, n int, out string, verify bool, stmtSrc string) {
+	req.Batch = &n
+	var insts []map[string]*tensor.Dense
+	if len(data) > 0 {
+		insts = make([]map[string]*tensor.Dense, n)
+		for i := range insts {
+			insts[i] = data
+		}
+	}
+	outcome, err := client.RunBatch(ctx, req, insts)
+	if err != nil {
+		log.Fatalf("distal-run: %v", err)
+	}
+	stats := outcome.Stats
+	fmt.Printf("plan=%s cached=%t batch=%d time=%.6fs gflops=%.1f copies=%d compile=%.1fms\n",
+		stats.PlanKey, stats.Cached, n, stats.TimeS, stats.GFlops, stats.Copies, stats.CompileMS)
+	failed := false
+	for i := 0; i < n; i++ {
+		if err := outcome.Errs[i]; err != nil {
+			failed = true
+			fmt.Printf("instance %d: error: %v\n", i, err)
+			continue
+		}
+		t := outcome.Outputs[i]
+		fmt.Printf("instance %d: output=%s shape=%v sum=%.9g\n", i, stats.Output, t.Shape(), t.Sum())
+	}
+
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			log.Fatalf("distal-run: %v", err)
+		}
+		var size int64
+		for _, t := range outcome.Outputs {
+			if t == nil {
+				continue
+			}
+			if err := wire.Encode(f, t); err != nil {
+				f.Close()
+				log.Fatalf("distal-run: %v", err)
+			}
+			size += wire.EncodedSize(t)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("distal-run: %v", err)
+		}
+		fmt.Printf("wrote %s (%d bytes, surviving instances concatenated)\n", out, size)
+	}
+
+	if verify {
+		for i := 0; i < n; i++ {
+			if outcome.Outputs[i] == nil {
+				continue
+			}
+			if err := verifyInstance(stmtSrc, req, data, outcome.Outputs[i], i); err != nil {
+				log.Fatalf("distal-run: verify instance %d: %v", i, err)
+			}
+		}
+		fmt.Println("verify=ok")
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
 // verifyResult reconstructs every input locally (streamed tensors are
 // already in hand; fills are deterministic on both ends), evaluates the
 // statement with the reference interpreter, and compares numerics.
 func verifyResult(stmtSrc string, req wire.RunRequest, data map[string]*tensor.Dense, got *tensor.Dense) error {
+	return verifyInstance(stmtSrc, req, data, got, 0)
+}
+
+// verifyInstance is verifyResult for instance inst of a batched run: fills
+// reconstruct with the per-instance seed offset the server applied.
+func verifyInstance(stmtSrc string, req wire.RunRequest, data map[string]*tensor.Dense, got *tensor.Dense, inst int) error {
 	stmt, err := ir.Parse(stmtSrc)
 	if err != nil {
 		return err
@@ -136,7 +224,7 @@ func verifyResult(stmtSrc string, req wire.RunRequest, data map[string]*tensor.D
 			continue
 		}
 		t := tensor.New(name, req.Shapes[name]...)
-		if err := wire.ApplyFill(t, req.Inputs[name]); err != nil {
+		if err := wire.ApplyFillInstance(t, req.Inputs[name], inst); err != nil {
 			return err
 		}
 		inputs[name] = t

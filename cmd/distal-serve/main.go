@@ -18,7 +18,8 @@
 //	GET  /v1/stats    cache and server counters
 //
 // Request bodies are capped: -max-body for the JSON endpoints, -max-run-body
-// for /v1/run (which carries tensor payloads).
+// for /v1/run (which carries tensor payloads), and -max-batch for the
+// instance count a batched /v1/run may declare.
 package main
 
 import (
@@ -50,6 +51,7 @@ func main() {
 	cache := flag.Int("cache", distal.DefaultPlanCacheSize, "plan cache capacity (0 disables)")
 	maxBody := flag.Int64("max-body", 4<<20, "largest accepted body on the JSON endpoints, in bytes")
 	maxRunBody := flag.Int64("max-run-body", 256<<20, "largest accepted /v1/run body (JSON section plus tensor frames), in bytes")
+	maxBatch := flag.Int("max-batch", 64, "largest accepted /v1/run batch instance count")
 	flag.Parse()
 
 	dims, err := parseGrid(*grid)
@@ -73,7 +75,7 @@ func main() {
 	sess := distal.NewSession(m, distal.WithParams(params), distal.WithPlanCacheSize(*cache))
 	srv := serve.New(sess, serve.Config{
 		Workers: *workers, Timeout: *timeout,
-		MaxBody: *maxBody, MaxRunBody: *maxRunBody,
+		MaxBody: *maxBody, MaxRunBody: *maxRunBody, MaxRunBatch: *maxBatch,
 	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}

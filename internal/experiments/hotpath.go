@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"time"
 
 	"distal/internal/algorithms"
@@ -101,6 +102,11 @@ func Hotpath(runs int) ([]HotpathRow, error) {
 		{"cold-execute-real-tree", execute(realTree, legion.Options{Params: sim.LassenCPU(), Real: true})},
 		{"blocked-matmul-ref", blockedMatmulRef(128, 32)},
 	}
+	batchCases, err := batchHotpath()
+	if err != nil {
+		return nil, fmt.Errorf("hotpath batch setup: %w", err)
+	}
+	cases = append(cases, batchCases...)
 	wireCases, closeWire, err := wireHotpath()
 	if err != nil {
 		return nil, fmt.Errorf("hotpath wire setup: %w", err)
@@ -160,10 +166,14 @@ func blockedMatmulRef(n, block int) func() error {
 	}
 }
 
-// DiffHotpath checks hot-path improvement requirements: for every name in
-// required, the current row's wall time must be at most factor times the
-// baseline row's (factor 0.8 demands a 20% improvement; 1.0 demands
-// no-worse). Rows missing on either side fail the requirement — an
+// DiffHotpath checks hot-path improvement requirements. A plain "name"
+// requirement compares against the baseline: the current row's wall time
+// must be at most factor times the baseline row's (factor 0.8 demands a 20%
+// improvement; 1.0 demands no-worse). An "a<b" requirement compares two rows
+// of the current run against each other: row a must be at most factor times
+// row b (e.g. batch-run-8<seq-run-8 with factor 0.9 demands the batched walk
+// beat eight sequential runs by 10%) — useful when the baseline predates one
+// of the rows. Rows missing on either side fail the requirement — an
 // improvement gate should never pass silently because a measurement
 // disappeared. Returns one message per violated requirement.
 func DiffHotpath(baseline, current []HotpathRow, required map[string]float64) []string {
@@ -183,6 +193,21 @@ func DiffHotpath(baseline, current []HotpathRow, required map[string]float64) []
 	var violations []string
 	for _, name := range names {
 		factor := required[name]
+		if fast, slow, intra := strings.Cut(name, "<"); intra {
+			a, okA := cur[fast]
+			b, okB := cur[slow]
+			switch {
+			case !okA:
+				violations = append(violations, fmt.Sprintf("hotpath %s: missing from current run", fast))
+			case !okB:
+				violations = append(violations, fmt.Sprintf("hotpath %s: missing from current run", slow))
+			case a.MS > b.MS*factor:
+				violations = append(violations, fmt.Sprintf(
+					"hotpath %s: %.2fms vs %s's %.2fms (need <= %.2fms, factor %.2f)",
+					fast, a.MS, slow, b.MS, b.MS*factor, factor))
+			}
+			continue
+		}
 		b, okB := base[name]
 		c, okC := cur[name]
 		switch {

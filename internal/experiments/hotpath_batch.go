@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"distal"
+	"distal/internal/tensor"
+)
+
+// batchHotpath builds the `batch-run-8` / `seq-run-8` measurements: the same
+// eight problem instances executed through one cached plan either as a
+// single BindBatch launch walk or as eight sequential Bind.Run calls. The
+// pair is gated intra-run (batch-run-8<seq-run-8) — the batched walk pays
+// the serial simulated accounting once and drains all instances' kernels
+// through one worker-pool pass, so it must beat the loop.
+func batchHotpath() ([]hotpathCase, error) {
+	// Small tiles on purpose: per-instance kernel work is a few microseconds,
+	// so the row measures what batching amortizes — the serial accounting
+	// walk and the worker-pool drain — rather than raw multiply throughput
+	// (run-wire-summa and cold-execute-real already pin that).
+	const n, b = 64, 8
+	sess := distal.NewSession(distal.NewMachine(distal.CPU, 4, 4))
+	plan, err := sess.Compile(context.Background(), distal.Request{
+		Stmt:   "A(i,j) = B(i,k) * C(k,j)",
+		Shapes: map[string][]int{"A": {n, n}, "B": {n, n}, "C": {n, n}},
+		Schedule: "divide(i,io,ii,4) divide(j,jo,ji,4) reorder(io,jo,ii,ji) distribute(io,jo) " +
+			"split(k,ko,ki,8) reorder(io,jo,ko,ii,ji,ki) communicate(jo,A) communicate(ko,B,C)",
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Instance data is allocated once outside the timed closures; outputs
+	// are re-zeroed per run so every attempt does identical work.
+	insts := make([][]*distal.Tensor, b)
+	outs := make([]*tensor.Dense, b)
+	for i := range insts {
+		A := tensor.New("A", n, n)
+		B := tensor.New("B", n, n)
+		B.FillRandom(int64(2*i + 1))
+		C := tensor.New("C", n, n)
+		C.FillRandom(int64(2*i + 2))
+		insts[i] = []*distal.Tensor{
+			{Name: "A", Shape: []int{n, n}, Data: A},
+			{Name: "B", Shape: []int{n, n}, Data: B},
+			{Name: "C", Shape: []int{n, n}, Data: C},
+		}
+		outs[i] = A
+	}
+	zeroOuts := func() {
+		for _, out := range outs {
+			out.Zero()
+		}
+	}
+	return []hotpathCase{
+		{"batch-run-8", func() error {
+			zeroOuts()
+			_, err := plan.BindBatch(insts...).Run(context.Background())
+			return err
+		}},
+		{"seq-run-8", func() error {
+			zeroOuts()
+			for i := range insts {
+				if _, err := plan.Bind(insts[i]...).Run(context.Background()); err != nil {
+					return fmt.Errorf("instance %d: %w", i, err)
+				}
+			}
+			return nil
+		}},
+	}, nil
+}

@@ -38,3 +38,32 @@ func TestDiffMetrics(t *testing.T) {
 		t.Fatalf("want no-shared-rows message, got %v", regs)
 	}
 }
+
+func TestDiffHotpath(t *testing.T) {
+	base := []HotpathRow{{Name: "compile", MS: 10}}
+	cur := []HotpathRow{
+		{Name: "compile", MS: 7},
+		{Name: "batch-run-8", MS: 40},
+		{Name: "seq-run-8", MS: 100},
+	}
+	// Baseline requirement met, intra-run requirement met.
+	regs := DiffHotpath(base, cur, map[string]float64{
+		"compile": 0.8, "batch-run-8<seq-run-8": 0.5,
+	})
+	if len(regs) != 0 {
+		t.Fatalf("unexpected violations: %v", regs)
+	}
+	// Intra-run requirement violated: 40 > 100*0.3.
+	regs = DiffHotpath(base, cur, map[string]float64{"batch-run-8<seq-run-8": 0.3})
+	if len(regs) != 1 || !strings.Contains(regs[0], "batch-run-8") {
+		t.Fatalf("want one intra-run violation, got %v", regs)
+	}
+	// A row missing from the current run never passes silently, in either
+	// requirement form.
+	regs = DiffHotpath(base, cur, map[string]float64{
+		"gone": 1.0, "batch-run-8<gone": 1.0, "gone<seq-run-8": 1.0,
+	})
+	if len(regs) != 3 {
+		t.Fatalf("want three missing-row violations, got %v", regs)
+	}
+}

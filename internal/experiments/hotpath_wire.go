@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"fmt"
 	"net/http/httptest"
 
 	"distal"
@@ -47,6 +48,36 @@ func wireHotpath() (cases []hotpathCase, close func(), err error) {
 		return nil, nil, err
 	}
 
+	// The batched pair ships the same eight instances either as one
+	// "batch": 8 request (one plan walk, one round trip) or as eight
+	// sequential single-instance requests; the byte volume on the wire is
+	// identical, so the gap is the per-request walk and HTTP overhead. The
+	// instances are deliberately small (the payload-heavy path is
+	// run-wire-summa's job) so the row isolates what batching amortizes.
+	// Gated intra-run as batch-wire-8<seq-wire-8.
+	const batchN, bn = 8, 64
+	batchReq := wire.RunRequest{
+		Stmt:   "A(i,j) = B(i,k) * C(k,j)",
+		Shapes: map[string][]int{"A": {bn, bn}, "B": {bn, bn}, "C": {bn, bn}},
+		Schedule: "divide(i,io,ii,4) divide(j,jo,ji,4) reorder(io,jo,ii,ji) distribute(io,jo) " +
+			"split(k,ko,ki,8) reorder(io,jo,ko,ii,ji,ki) communicate(jo,A) communicate(ko,B,C)",
+		Inputs: map[string]string{"B": wire.FillWire, "C": wire.FillWire},
+	}
+	bB := tensor.New("B", bn, bn)
+	bB.FillRandom(3)
+	bC := tensor.New("C", bn, bn)
+	bC.FillRandom(4)
+	batchData := map[string]*tensor.Dense{"B": bB, "C": bC}
+	batchInsts := make([]map[string]*tensor.Dense, batchN)
+	for i := range batchInsts {
+		batchInsts[i] = batchData
+	}
+	// Warm the batch plan too, for the same reason as above.
+	if _, _, err := client.Run(context.Background(), batchReq, batchData); err != nil {
+		ts.Close()
+		return nil, nil, err
+	}
+
 	cases = []hotpathCase{
 		{"run-wire-summa", func() error {
 			_, _, err := client.Run(context.Background(), framedReq, framedData)
@@ -55,6 +86,26 @@ func wireHotpath() (cases []hotpathCase, close func(), err error) {
 		{"run-wire-fill", func() error {
 			_, _, err := client.Run(context.Background(), filledReq, nil)
 			return err
+		}},
+		{"batch-wire-8", func() error {
+			outcome, err := client.RunBatch(context.Background(), batchReq, batchInsts)
+			if err != nil {
+				return err
+			}
+			for i, e := range outcome.Errs {
+				if e != nil {
+					return fmt.Errorf("instance %d: %w", i, e)
+				}
+			}
+			return nil
+		}},
+		{"seq-wire-8", func() error {
+			for i := 0; i < batchN; i++ {
+				if _, _, err := client.Run(context.Background(), batchReq, batchData); err != nil {
+					return fmt.Errorf("run %d: %w", i, err)
+				}
+			}
+			return nil
 		}},
 	}
 	return cases, ts.Close, nil

@@ -8,18 +8,25 @@ import (
 
 // Ctx gives a Real-mode leaf kernel access to the data of its region
 // requirements in global coordinates. Reads and writes resolve against the
-// execution's data binding (Options.Data overriding Region.Data), so one
-// immutable cached program can run on different data per execution.
+// execution's data binding (Options.Data or one Options.Batch instance,
+// overriding Region.Data), so one immutable cached program can run on
+// different data per execution — and, under a batched execution, on N
+// independent problem instances at once: each deferred task carries the slot
+// (instance index) it computes, and every read or write resolves against
+// that instance's tensors.
 //
 // Instances are recycled through the executor's free list: runLaunch binds
-// one per deferred task, the task batch runs, and reset returns the maps to
-// the list — the real path allocates a handful of Ctxs per execution rather
-// than two maps per task.
+// one per deferred (instance × task), the task batch runs, and reset returns
+// the maps to the list — the real path allocates a handful of Ctxs per
+// execution rather than two maps per task.
 type Ctx struct {
 	// Point is the task's domain coordinate. The slice is carved from a
 	// per-launch slab and stays valid for the task's whole invocation, but
-	// kernels must not retain it past their return.
+	// kernels must not retain it past their return. Under a batched
+	// execution all instances of one point share the slice (it is read-only
+	// during the drain).
 	Point  []int
+	slot   int // batch instance index (0 for single-instance runs)
 	reads  map[string]*tensor.Dense
 	writes map[string]*accumulator
 }
@@ -32,22 +39,35 @@ func newCtx() *Ctx {
 // be reused by a later task without holding tensors or accumulators live.
 func (c *Ctx) reset() {
 	c.Point = nil
+	c.slot = 0
 	clear(c.reads)
 	clear(c.writes)
 }
 
 // accumulator is a task-local output buffer covering a rect of a region. It
-// is combined into the canonical region data when reductions flush.
+// is combined into the canonical region data when reductions flush. The
+// simulated-time fields (rect, combine, lastUse, ...) are shared by every
+// batch instance — accounting runs once per accumulator regardless of batch
+// size — while the Real-mode storage is per instance: bufs[slot] holds
+// instance slot's canonical tensor and (for non-in-place accumulators) its
+// private local buffer.
 type accumulator struct {
 	region  *Region
-	canon   *tensor.Dense // the execution's canonical data (Real mode only)
 	rect    tensor.Rect
 	key     tensor.RectKey
-	data    *tensor.Dense // indexed by local coordinates (global - rect.Lo)
-	combine Privilege     // ReduceSum accumulates; others overwrite
-	inPlace bool          // writes go directly to the canonical data
+	combine Privilege // ReduceSum accumulates; others overwrite
+	inPlace bool      // writes go directly to the canonical data
 	leaf    int
 	lastUse float64
+	bufs    []accBuf // Real mode: one entry per batch instance
+}
+
+// accBuf is one batch instance's view of an accumulator: the instance's
+// canonical region data and, for non-in-place accumulators, the local buffer
+// (indexed by local coordinates, global - rect.Lo).
+type accBuf struct {
+	canon *tensor.Dense
+	data  *tensor.Dense
 }
 
 // ReadAt returns the value of region name at the global coordinate p.
@@ -65,31 +85,34 @@ func (c *Ctx) ReadAt(name string, p ...int) float64 {
 // WriteAdd accumulates v into region name at the global coordinate p.
 func (c *Ctx) WriteAdd(name string, v float64, p ...int) {
 	a := c.acc(name)
+	b := &a.bufs[c.slot]
 	if a.inPlace {
-		a.canon.Add(v, p...)
+		b.canon.Add(v, p...)
 		return
 	}
-	a.data.Add(v, local(p, a.rect)...)
+	b.data.Add(v, local(p, a.rect)...)
 }
 
 // WriteSet stores v into region name at the global coordinate p.
 func (c *Ctx) WriteSet(name string, v float64, p ...int) {
 	a := c.acc(name)
+	b := &a.bufs[c.slot]
 	if a.inPlace {
-		a.canon.Set(v, p...)
+		b.canon.Set(v, p...)
 		return
 	}
-	a.data.Set(v, local(p, a.rect)...)
+	b.data.Set(v, local(p, a.rect)...)
 }
 
 // ReadLocalAt reads back a value previously written by this task's
 // write/reduce requirement (needed by += kernels that read their output).
 func (c *Ctx) ReadLocalAt(name string, p ...int) float64 {
 	a := c.acc(name)
+	b := &a.bufs[c.slot]
 	if a.inPlace {
-		return a.canon.At(p...)
+		return b.canon.At(p...)
 	}
-	return a.data.At(local(p, a.rect)...)
+	return b.data.At(local(p, a.rect)...)
 }
 
 // ReadSurface exposes the raw storage of the named read requirement: the
@@ -112,9 +135,10 @@ func (c *Ctx) ReadSurface(name string) (data []float64, strides []int) {
 // kernels address both cases identically.
 func (c *Ctx) WriteSurface(name string) (data []float64, strides []int, base int) {
 	a := c.acc(name)
-	t := a.data
+	b := &a.bufs[c.slot]
+	t := b.data
 	if a.inPlace {
-		t = a.canon
+		t = b.canon
 	}
 	strides = t.Strides()
 	if !a.inPlace {

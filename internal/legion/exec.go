@@ -24,6 +24,15 @@ type Options struct {
 	// Real-mode executions on different tensors concurrently: the binding
 	// lives in the execution, not in the shared plan.
 	Data map[string]*tensor.Dense
+	// Batch binds N independent problem instances, one data map per
+	// instance, and runs them all in a single launch walk: simulated-time
+	// accounting runs exactly once (metrics are identical to a
+	// single-instance run), while Real-mode leaf tasks are captured per
+	// (instance × task) and drained over the worker pool, with accumulator
+	// grouping scoped per instance so instances never serialize against
+	// each other. Requires Real; when set, Data is ignored. Instances must
+	// not share output tensors with each other (inputs may be shared).
+	Batch []map[string]*tensor.Dense
 	// Synchronous disables communication/computation overlap: copies cannot
 	// start before the destination processor is idle, and a global barrier
 	// separates launches. Models non-overlapping baselines (ScaLAPACK, CTF).
@@ -192,6 +201,15 @@ type accKey struct {
 	rect   tensor.RectKey
 }
 
+// accSlot scopes an accumulator to one batch instance: tasks of different
+// instances writing through the same (shared, accounting-level) accumulator
+// touch disjoint per-instance buffers, so write-safety grouping keys on the
+// pair, never serializing one instance against another.
+type accSlot struct {
+	acc  *accumulator
+	slot int
+}
+
 type executor struct {
 	prog    *Program
 	opt     Options
@@ -200,7 +218,8 @@ type executor struct {
 	lg      machine.Grid
 	gpuMem  bool
 	reg     map[*Region]*regState
-	data    map[*Region]*tensor.Dense // Real mode: resolved canonical data
+	data    []map[*Region]*tensor.Dense // Real mode: resolved canonical data, one map per batch instance
+	batch   int                         // number of problem instances (1 unless Options.Batch)
 	accs    map[accKey]*accumulator
 	accSeq  []*accumulator
 	trace   []CopyRecord
@@ -211,14 +230,15 @@ type executor struct {
 	// Real-mode task batch: runLaunch defers kernel invocations here and
 	// runRealTasks drains them over the worker pool at the launch's end.
 	// Everything below is per-launch scratch reused across launches.
-	workers   int        // resolved Options.RealWorkers
-	realTasks []*Ctx     // deferred tasks, in point order
-	ctxFree   []*Ctx     // Ctx free list (map storage reuse)
-	pointSlab []int      // per-launch backing for deferred tasks' Points
-	ufParent  []int32    // union-find scratch for task grouping
-	taskAccs  []*accumulator         // per-point write-target buffer
-	accFirst  map[*accumulator]int32 // accumulator -> first task using it
-	readSet   map[*Region]bool       // regions read by the current launch
+	workers   int     // resolved Options.RealWorkers
+	realTasks []*Ctx  // deferred tasks, point-major then instance order
+	ctxFree   []*Ctx  // Ctx free list (map storage reuse)
+	ctxBatch  []*Ctx  // per-point scratch: one deferred Ctx per instance
+	pointSlab []int   // per-launch backing for deferred tasks' Points
+	ufParent  []int32 // union-find scratch for task grouping
+	taskAccs  []*accumulator    // per-point write-target buffer
+	accFirst  map[accSlot]int32 // (accumulator, instance) -> first task using it
+	readSet   map[*Region]bool  // regions read by the current launch
 
 	// Double-buffering throttle: copies for a leaf's task in launch s may
 	// not start before its task in launch s-TransientWindow completed
@@ -261,6 +281,13 @@ func RunContext(ctx context.Context, p *Program, opt Options) (*Result, error) {
 	if e.workers <= 0 {
 		e.workers = min(runtime.GOMAXPROCS(0), 16)
 	}
+	e.batch = 1
+	if n := len(opt.Batch); n > 0 {
+		if !opt.Real {
+			return nil, fmt.Errorf("legion: Options.Batch requires Real mode")
+		}
+		e.batch = n
+	}
 	if err := e.placeInitial(); err != nil {
 		return nil, err
 	}
@@ -302,27 +329,41 @@ func RunContext(ctx context.Context, p *Program, opt Options) (*Result, error) {
 // persistent owner instances dictated by each region's placement and charges
 // their memory.
 func (e *executor) placeInitial() error {
+	var binds []map[string]*tensor.Dense
 	if e.opt.Real {
-		e.data = make(map[*Region]*tensor.Dense, len(e.prog.Regions))
+		binds = e.opt.Batch
+		if len(binds) == 0 {
+			binds = []map[string]*tensor.Dense{e.opt.Data}
+		}
+		e.data = make([]map[*Region]*tensor.Dense, len(binds))
+		for b := range e.data {
+			e.data[b] = make(map[*Region]*tensor.Dense, len(e.prog.Regions))
+		}
 	}
 	for _, r := range e.prog.Regions {
 		if e.opt.Real {
-			d := e.opt.Data[r.Name]
-			if d == nil {
-				d = r.Data
-			}
-			if d == nil {
-				return fmt.Errorf("legion: Real execution requires data bound to region %s", r.Name)
-			}
-			if len(d.Shape()) != len(r.Shape) {
-				return fmt.Errorf("legion: data bound to region %s has rank %d, want %d", r.Name, len(d.Shape()), len(r.Shape))
-			}
-			for dim := range r.Shape {
-				if d.Shape()[dim] != r.Shape[dim] {
-					return fmt.Errorf("legion: data bound to region %s has shape %v, want %v", r.Name, d.Shape(), r.Shape)
+			for b, bind := range binds {
+				inst := ""
+				if e.batch > 1 {
+					inst = fmt.Sprintf(" (instance %d)", b)
 				}
+				d := bind[r.Name]
+				if d == nil {
+					d = r.Data
+				}
+				if d == nil {
+					return fmt.Errorf("legion: Real execution requires data bound to region %s%s", r.Name, inst)
+				}
+				if len(d.Shape()) != len(r.Shape) {
+					return fmt.Errorf("legion: data bound to region %s%s has rank %d, want %d", r.Name, inst, len(d.Shape()), len(r.Shape))
+				}
+				for dim := range r.Shape {
+					if d.Shape()[dim] != r.Shape[dim] {
+						return fmt.Errorf("legion: data bound to region %s%s has shape %v, want %v", r.Name, inst, d.Shape(), r.Shape)
+					}
+				}
+				e.data[b][r] = d
 			}
-			e.data[r] = d
 		}
 		rs := &regState{
 			region:     r,
@@ -409,10 +450,16 @@ func (e *executor) runLaunch(l *Launch) error {
 			issueAt = e.endHist[0][leaf]
 		}
 		taskReady := issueAt
-		var ctx *Ctx
+		// One deferred Ctx per batch instance: the accounting below runs
+		// once for the point, while the real work fans out per instance.
+		ctxs := e.ctxBatch[:0]
 		if deferKernels {
-			ctx = e.getCtx()
-			ctx.Point = point
+			for b := 0; b < e.batch; b++ {
+				c := e.getCtx()
+				c.Point = point
+				c.slot = b
+				ctxs = append(ctxs, c)
+			}
 		}
 		taskAccs := e.taskAccs[:0]
 		for _, q := range reqs {
@@ -428,21 +475,24 @@ func (e *executor) runLaunch(l *Launch) error {
 				if at > taskReady {
 					taskReady = at
 				}
-				if ctx != nil {
-					ctx.reads[q.Region.Name] = e.data[q.Region]
+				if len(ctxs) > 0 {
+					for _, c := range ctxs {
+						c.reads[q.Region.Name] = e.data[c.slot][q.Region]
+					}
 					e.readSet[q.Region] = true
 				}
 			default:
 				acc := e.writeTarget(q, leaf)
 				taskAccs = append(taskAccs, acc)
-				if ctx != nil {
-					ctx.writes[q.Region.Name] = acc
+				for _, c := range ctxs {
+					c.writes[q.Region.Name] = acc
 				}
 			}
 		}
-		if ctx != nil {
-			e.realTasks = append(e.realTasks, ctx)
+		if len(ctxs) > 0 {
+			e.realTasks = append(e.realTasks, ctxs...)
 		}
+		e.ctxBatch = ctxs[:0]
 		flops, bytes := 0.0, 0.0
 		if l.Kernel.Flops != nil {
 			flops = l.Kernel.Flops(point)
@@ -479,14 +529,16 @@ func (e *executor) getCtx() *Ctx {
 
 // runRealTasks executes the launch's deferred kernel invocations. Tasks are
 // grouped by write-safety — two tasks share a group when they write through
-// the same accumulator, or through in-place accumulators of one region whose
-// rects overlap (possible under replicated placements) — via union-find.
-// Groups touch pairwise-disjoint memory, so they fan out over the worker
-// pool; tasks within a group run in their original point order on one
-// worker, so floating-point accumulation order, and hence every result bit,
-// matches serial execution. If the launch reads a region some task writes in
-// place, the whole batch runs serially in point order (the only regime where
-// cross-task order is observable through reads).
+// the same accumulator for the same batch instance, or through in-place
+// accumulators of one region whose rects overlap (possible under replicated
+// placements), again within one instance — via union-find. Groups touch
+// pairwise-disjoint memory, so they fan out over the worker pool; tasks
+// within a group run in their original point order on one worker, so
+// floating-point accumulation order, and hence every result bit, matches
+// serial (and single-instance) execution. If the launch reads a region some
+// task writes in place, cross-task order is observable through reads, so
+// each instance's tasks serialize wholesale — but only against each other:
+// distinct instances touch disjoint tensors and still run in parallel.
 func (e *executor) runRealTasks(l *Launch) error {
 	tasks := e.realTasks
 	if len(tasks) == 0 {
@@ -501,16 +553,17 @@ func (e *executor) runRealTasks(l *Launch) error {
 	}()
 
 	serial := e.workers <= 1 || len(tasks) == 1
+	readAliased := false
 	if !serial {
 		for _, c := range tasks {
 			for _, a := range c.writes {
 				if a.inPlace && e.readSet[a.region] {
-					serial = true
+					readAliased = true
 				}
 			}
 		}
 	}
-	if serial {
+	if serial || (readAliased && e.batch == 1) {
 		for _, c := range tasks {
 			if err := e.ctx.Err(); err != nil {
 				return err
@@ -545,29 +598,48 @@ func (e *executor) runRealTasks(l *Launch) error {
 			parent[ra] = rb
 		}
 	}
-	if e.accFirst == nil {
-		e.accFirst = map[*accumulator]int32{}
-	}
-	clear(e.accFirst)
-	type ipAcc struct {
-		task int32
-		acc  *accumulator
-	}
-	var inPlace []ipAcc
-	for i, c := range tasks {
-		for _, a := range c.writes {
-			if first, ok := e.accFirst[a]; ok {
-				union(int32(i), first)
+	if readAliased {
+		// Each instance serializes wholesale (reads may observe in-place
+		// writes), but instances never serialize against each other: union
+		// every task with the first task of its slot.
+		firstOfSlot := make([]int32, e.batch)
+		for i := range firstOfSlot {
+			firstOfSlot[i] = -1
+		}
+		for i, c := range tasks {
+			if firstOfSlot[c.slot] < 0 {
+				firstOfSlot[c.slot] = int32(i)
 				continue
 			}
-			e.accFirst[a] = int32(i)
-			if a.inPlace {
-				for _, p := range inPlace {
-					if p.acc.region == a.region && !p.acc.rect.Intersect(a.rect).Empty() {
-						union(int32(i), p.task)
-					}
+			union(int32(i), firstOfSlot[c.slot])
+		}
+	} else {
+		if e.accFirst == nil {
+			e.accFirst = map[accSlot]int32{}
+		}
+		clear(e.accFirst)
+		type ipAcc struct {
+			task int32
+			acc  *accumulator
+			slot int
+		}
+		var inPlace []ipAcc
+		for i, c := range tasks {
+			for _, a := range c.writes {
+				k := accSlot{acc: a, slot: c.slot}
+				if first, ok := e.accFirst[k]; ok {
+					union(int32(i), first)
+					continue
 				}
-				inPlace = append(inPlace, ipAcc{task: int32(i), acc: a})
+				e.accFirst[k] = int32(i)
+				if a.inPlace {
+					for _, p := range inPlace {
+						if p.slot == c.slot && p.acc.region == a.region && !p.acc.rect.Intersect(a.rect).Empty() {
+							union(int32(i), p.task)
+						}
+					}
+					inPlace = append(inPlace, ipAcc{task: int32(i), acc: a, slot: c.slot})
+				}
 			}
 		}
 	}
@@ -841,21 +913,31 @@ func (e *executor) writeTarget(q Req, leaf int) *accumulator {
 	}
 	a := &accumulator{
 		region:  q.Region,
-		canon:   e.data[q.Region],
 		rect:    q.Rect,
 		key:     rk,
 		combine: q.Priv,
 		inPlace: inPlace,
 		leaf:    leaf,
 	}
+	if e.opt.Real {
+		a.bufs = make([]accBuf, e.batch)
+		for b := range a.bufs {
+			a.bufs[b].canon = e.data[b][q.Region]
+		}
+	}
 	if !inPlace {
+		// Simulated memory is charged once regardless of batch size: the
+		// accounting walk models one instance, and batching must not perturb
+		// its metrics.
 		e.s.Alloc(leaf, q.Region.Bytes(q.Rect))
 		if e.opt.Real {
 			shape := make([]int, q.Rect.Rank())
 			for d := range shape {
 				shape[d] = q.Rect.Extent(d)
 			}
-			a.data = tensor.New(q.Region.Name+"_acc", shape...)
+			for b := range a.bufs {
+				a.bufs[b].data = tensor.New(q.Region.Name+"_acc", shape...)
+			}
 		}
 	}
 	e.accs[key] = a
@@ -875,14 +957,17 @@ func (e *executor) flushAccumulators() {
 			if a.inPlace {
 				continue
 			}
-			a.rect.Points(func(p []int) {
-				v := a.data.At(local(p, a.rect)...)
-				if a.combine == ReduceSum {
-					a.canon.Add(v, p...)
-				} else {
-					a.canon.Set(v, p...)
-				}
-			})
+			for b := range a.bufs {
+				buf := &a.bufs[b]
+				a.rect.Points(func(p []int) {
+					v := buf.data.At(local(p, a.rect)...)
+					if a.combine == ReduceSum {
+						buf.canon.Add(v, p...)
+					} else {
+						buf.canon.Set(v, p...)
+					}
+				})
+			}
 		}
 	}
 	// Group same-rect ReduceSum accumulators per region for tree merging.

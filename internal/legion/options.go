@@ -30,6 +30,15 @@ func WithData(data map[string]*tensor.Dense) Option {
 	return func(o *Options) { o.Data = data }
 }
 
+// WithBatch binds N independent problem instances (one data map each) to a
+// single execution: the launch walk and all simulated-time accounting run
+// once, while real leaf tasks fan out per (instance × task) over the worker
+// pool. Implies nothing about Real; combine with WithReal. Instances must
+// not share output tensors.
+func WithBatch(batch []map[string]*tensor.Dense) Option {
+	return func(o *Options) { o.Batch = batch }
+}
+
 // WithParams replaces the cost model NewOptions was seeded with.
 func WithParams(p sim.Params) Option {
 	return func(o *Options) { o.Params = p }

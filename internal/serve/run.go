@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
 	"distal"
@@ -26,10 +28,20 @@ import (
 //	application/x-distal-run   u32 JSON length | wire.RunRequest | frames
 //	application/json           bare wire.RunRequest, all inputs filled
 //
+// A "batch": N request executes N problem instances through one cached
+// plan in a single launch walk (Plan.BindBatch): frames arrive
+// back-to-back in instance-major order, fills materialize per instance
+// (rand seeds offset by instance index), and the surviving instances'
+// output frames stream back concatenated in instance order with
+// per-instance status in the Distal-Batch-* headers. An instance whose
+// frame decodes but disagrees with the declared shape fails alone — the
+// batch is not torn down unless every instance fails.
+//
 // Failure mapping: malformed wire bytes and bad directives are KindParse
 // (400); well-formed frames whose shape or rank disagrees with the declared
-// request, missing frames, and trailing garbage are KindInput (422);
-// nothing client-caused ever maps to 500.
+// request, missing frames, trailing garbage, and non-positive or
+// over-the-cap batch counts are KindInput (422); nothing client-caused
+// ever maps to 500.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -79,6 +91,23 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Validate the declared batch before compiling or allocating anything: a
+	// lying batch header is an input error, never an allocation.
+	batch, batched := 1, false
+	if q.Batch != nil {
+		batched = true
+		batch = *q.Batch
+		if batch <= 0 {
+			s.writeError(w, &distal.Error{Kind: distal.KindInput, Op: "run",
+				Err: fmt.Errorf("batch must be a positive instance count, got %d", batch)})
+			return
+		}
+		if batch > s.cfg.MaxRunBatch {
+			s.writeError(w, &distal.Error{Kind: distal.KindInput, Op: "run",
+				Err: fmt.Errorf("batch of %d exceeds the limit of %d", batch, s.cfg.MaxRunBatch)})
+			return
+		}
+	}
 
 	ctx, cancel := s.deadlineFor(r.Context(), q.TimeoutMS)
 	defer cancel()
@@ -108,39 +137,56 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	// Materialize every tensor of the statement, decoding wire frames in
-	// statement order. Each frame decodes under the exact element count the
-	// request declared for its tensor, so a lying frame header can never
-	// allocate beyond the declared workload.
-	binds := make([]*distal.Tensor, 0, len(names))
-	for _, name := range names {
-		shape := q.Shapes[name]
-		var data *tensor.Dense
-		if q.Inputs[name] == wire.FillWire {
-			elems := 1
-			for _, s := range shape {
-				elems *= s
+	// Materialize every tensor of every instance, decoding wire frames in
+	// instance-major order (instance 0's tensors in statement order, then
+	// instance 1's, ...). Each frame decodes under the exact element count
+	// the request declared for its tensor, so a lying frame header can never
+	// allocate beyond the declared workload. A frame that decodes cleanly
+	// but disagrees with the declared shape is fully consumed — the stream
+	// stays in sync — so only its instance fails; a malformed or truncated
+	// frame desynchronizes the stream and fails the whole request.
+	instBinds := make([][]*distal.Tensor, batch)
+	instErrs := make([]error, batch)
+	for i := 0; i < batch; i++ {
+		binds := make([]*distal.Tensor, 0, len(names))
+		for _, name := range names {
+			shape := q.Shapes[name]
+			var data *tensor.Dense
+			if q.Inputs[name] == wire.FillWire {
+				elems := 1
+				for _, s := range shape {
+					elems *= s
+				}
+				data, err = wire.DecodeLimit(body, elems)
+				if err != nil {
+					at := fmt.Sprintf("decoding frame for %s", name)
+					if batched {
+						at = fmt.Sprintf("decoding frame for %s (instance %d)", name, i)
+					}
+					s.writeError(w, &distal.Error{Kind: distal.KindParse, Op: "run",
+						Err: fmt.Errorf("%s: %w", at, err)})
+					return
+				}
+				if !shapesEqual(data.Shape(), shape) {
+					if instErrs[i] == nil {
+						instErrs[i] = &distal.Error{Kind: distal.KindInput, Op: "run",
+							Err: fmt.Errorf("frame for %s has shape %v, the request declares %v", name, data.Shape(), shape)}
+					}
+					continue // stay in sync: keep consuming this instance's frames
+				}
+				data.Rename(name)
+			} else {
+				data = tensor.New(name, shape...)
+				if err := wire.ApplyFillInstance(data, q.Inputs[name], i); err != nil {
+					s.writeError(w, &distal.Error{Kind: distal.KindParse, Op: "run", Err: err})
+					return
+				}
 			}
-			data, err = wire.DecodeLimit(body, elems)
-			if err != nil {
-				s.writeError(w, &distal.Error{Kind: distal.KindParse, Op: "run",
-					Err: fmt.Errorf("decoding frame for %s: %w", name, err)})
-				return
-			}
-			if !shapesEqual(data.Shape(), shape) {
-				s.writeError(w, &distal.Error{Kind: distal.KindInput, Op: "run",
-					Err: fmt.Errorf("frame for %s has shape %v, the request declares %v", name, data.Shape(), shape)})
-				return
-			}
-			data.Rename(name)
-		} else {
-			data = tensor.New(name, shape...)
-			if err := wire.ApplyFill(data, q.Inputs[name]); err != nil {
-				s.writeError(w, &distal.Error{Kind: distal.KindParse, Op: "run", Err: err})
-				return
-			}
+			binds = append(binds, &distal.Tensor{Name: name, Shape: shape, Data: data})
 		}
-		binds = append(binds, &distal.Tensor{Name: name, Shape: shape, Data: data})
+		if instErrs[i] == nil {
+			instBinds[i] = binds
+		}
 	}
 	if framed {
 		// The body must end exactly at the last declared frame: trailing
@@ -153,21 +199,35 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	res, err := plan.Bind(binds...).Run(ctx)
+	// Execute the surviving instances in one launch walk. When every
+	// instance failed (which includes the single-instance path's only
+	// instance), the first failure is the request's failure.
+	var surviving [][]*distal.Tensor
+	for i := 0; i < batch; i++ {
+		if instErrs[i] == nil {
+			surviving = append(surviving, instBinds[i])
+		}
+	}
+	if len(surviving) == 0 {
+		s.writeError(w, instErrs[0])
+		return
+	}
+	bb := plan.BindBatch(surviving...)
+	results, err := bb.Run(ctx)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	var out *tensor.Dense
-	for _, b := range binds {
-		if b.Name == plan.Output() {
-			out = b.Data
+	res := results[0]
+	outs := make([]*tensor.Dense, 0, len(surviving))
+	for i := 0; i < bb.Len(); i++ {
+		out := bb.Output(i)
+		if out == nil {
+			s.writeError(w, &distal.Error{Kind: distal.KindExec, Op: "run",
+				Err: fmt.Errorf("plan lost its output tensor %s", plan.Output())})
+			return
 		}
-	}
-	if out == nil {
-		s.writeError(w, &distal.Error{Kind: distal.KindExec, Op: "run",
-			Err: fmt.Errorf("plan lost its output tensor %s", plan.Output())})
-		return
+		outs = append(outs, out.Data)
 	}
 
 	st := plan.Stats()
@@ -184,18 +244,47 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		CompileMS:    float64(st.CompileTime) / float64(time.Millisecond),
 	}
 	stats.SetHeaders(w.Header())
+	if batched {
+		w.Header().Set(wire.HeaderBatch, strconv.Itoa(batch))
+		tokens := make([]string, batch)
+		messages := make([]string, batch)
+		anyFailed := false
+		for i := 0; i < batch; i++ {
+			if instErrs[i] == nil {
+				tokens[i] = wire.BatchStatusOK
+				continue
+			}
+			anyFailed = true
+			tokens[i] = distal.KindOf(instErrs[i]).String()
+			messages[i] = instErrs[i].Error()
+		}
+		w.Header().Set(wire.HeaderBatchStatus, strings.Join(tokens, ","))
+		if anyFailed {
+			enc, err := json.Marshal(messages)
+			if err == nil {
+				w.Header().Set(wire.HeaderBatchErrors, string(enc))
+			}
+		}
+	}
 	w.Header().Set("Content-Type", wire.ContentTypeTensor)
 	w.WriteHeader(http.StatusOK)
 	// Stream the result frame by frame: Encode writes through a 64 KiB
 	// scratch and the flushing writer pushes each chunk out immediately, so
-	// the response is chunked transfer with no whole-result buffering.
-	if err := wire.Encode(&flushWriter{w: w}, out); err != nil {
-		// The status line is gone; all we can do is drop the connection so
-		// the client sees a truncated frame instead of a silent short read.
-		if hj, ok := w.(http.Hijacker); ok {
-			if conn, _, err := hj.Hijack(); err == nil {
-				conn.Close()
+	// the response is chunked transfer with no whole-result buffering. A
+	// batched response concatenates the surviving instances' frames in
+	// instance order.
+	fw := &flushWriter{w: w}
+	for _, out := range outs {
+		if err := wire.Encode(fw, out); err != nil {
+			// The status line is gone; all we can do is drop the connection
+			// so the client sees a truncated frame instead of a silent short
+			// read.
+			if hj, ok := w.(http.Hijacker); ok {
+				if conn, _, err := hj.Hijack(); err == nil {
+					conn.Close()
+				}
 			}
+			return
 		}
 	}
 }

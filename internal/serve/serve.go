@@ -54,6 +54,10 @@ type Config struct {
 	// MaxRunBody is the largest accepted /v1/run body in bytes — the JSON
 	// section plus every input tensor frame. Default 256 MiB.
 	MaxRunBody int64
+	// MaxRunBatch is the largest accepted "batch" instance count on a
+	// /v1/run request. Larger (or non-positive) declared batches are
+	// rejected as input errors before any allocation. Default 64.
+	MaxRunBatch int
 	// MaxTuneBudget caps the per-request candidate budget of /v1/tune (a
 	// tune evaluates up to budget compile+simulate cycles on one worker
 	// slot). Default 256.
@@ -78,6 +82,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxRunBody <= 0 {
 		c.MaxRunBody = 256 << 20
+	}
+	if c.MaxRunBatch <= 0 {
+		c.MaxRunBatch = 64
 	}
 	if c.MaxTuneBudget <= 0 {
 		c.MaxTuneBudget = 256

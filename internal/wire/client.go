@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 
 	"distal/internal/ir"
 	"distal/internal/tensor"
@@ -40,6 +41,9 @@ func (e *RunError) Error() string {
 // materialized server-side by design). The returned tensor is the streamed
 // output, named and shaped by the response; stats carry the run's metrics.
 func (c *Client) Run(ctx context.Context, req RunRequest, data map[string]*tensor.Dense) (*tensor.Dense, *RunStats, error) {
+	if req.Batch != nil {
+		return nil, nil, fmt.Errorf("wire: request declares batch %d: use RunBatch", *req.Batch)
+	}
 	order, err := wireOrder(req)
 	if err != nil {
 		return nil, nil, err
@@ -108,6 +112,160 @@ func (c *Client) Run(ctx context.Context, req RunRequest, data map[string]*tenso
 		return nil, nil, fmt.Errorf("wire: decoding response: %w", err)
 	}
 	return out.Rename(stats.Output), &stats, nil
+}
+
+// InstanceError is one instance's failure inside a 200 batched response:
+// the whole batch executed, but this instance was rejected (its frame's
+// shape disagreed with the request, for example) without tearing down the
+// others.
+type InstanceError struct {
+	Index   int
+	Kind    string
+	Message string
+}
+
+func (e *InstanceError) Error() string {
+	return fmt.Sprintf("wire: batch instance %d failed (%s): %s", e.Index, e.Kind, e.Message)
+}
+
+// BatchOutcome is the result of one batched run: per-instance outputs and
+// failures, index-aligned with the request's instances, plus the shared run
+// stats (the simulated metrics of a batched run are those of a single
+// instance — the accounting walk runs once).
+type BatchOutcome struct {
+	// Outputs holds instance i's streamed output tensor, nil when Errs[i]
+	// is set.
+	Outputs []*tensor.Dense
+	// Errs holds instance i's *InstanceError, nil when it succeeded.
+	Errs []error
+	// Stats carries the run's metrics headers.
+	Stats RunStats
+}
+
+// RunBatch executes req as a batched run over N problem instances. batch
+// supplies each instance's wire-marked input frames, one map per instance
+// in instance order; when req has no wire-marked inputs (all fills), batch
+// may be nil and req.Batch must declare the instance count. Frames are
+// streamed instance-major (instance 0's tensors in statement order, then
+// instance 1's, ...). Whole-request failures (malformed request, all
+// instances rejected, executor errors) return a non-nil error; per-instance
+// rejections ride in the BatchOutcome with the surviving instances' outputs.
+func (c *Client) RunBatch(ctx context.Context, req RunRequest, batch []map[string]*tensor.Dense) (*BatchOutcome, error) {
+	n := len(batch)
+	if req.Batch != nil {
+		if n != 0 && *req.Batch != n {
+			return nil, fmt.Errorf("wire: request declares batch %d but %d instances were given", *req.Batch, n)
+		}
+		n = *req.Batch
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("wire: batched run needs at least one instance")
+	}
+	req.Batch = &n
+	order, err := wireOrder(req)
+	if err != nil {
+		return nil, err
+	}
+	if len(order) == 0 && len(batch) > 0 {
+		return nil, fmt.Errorf("wire: instance data given but no input is marked %q", FillWire)
+	}
+	var frames []*tensor.Dense
+	if len(order) > 0 {
+		if len(batch) != n {
+			return nil, fmt.Errorf("wire: %d instances declared but data for %d was given", n, len(batch))
+		}
+		frames = make([]*tensor.Dense, 0, n*len(order))
+		for i, data := range batch {
+			for name := range data {
+				if req.Inputs[name] != FillWire {
+					return nil, fmt.Errorf("wire: instance %d: data given for %s, whose inputs entry is %q, not %q", i, name, req.Inputs[name], FillWire)
+				}
+			}
+			for _, name := range order {
+				t, ok := data[name]
+				if !ok {
+					return nil, fmt.Errorf("wire: instance %d: input %s is marked %q but no data was given", i, name, FillWire)
+				}
+				frames = append(frames, t)
+			}
+		}
+	}
+	envelope, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+
+	var body io.Reader
+	contentType := ContentTypeRun
+	if len(frames) == 0 {
+		body, contentType = bytes.NewReader(envelope), "application/json"
+	} else {
+		pr, pw := io.Pipe()
+		body = pr
+		go func() {
+			err := WriteJSONSection(pw, envelope)
+			if err == nil {
+				err = EncodeFrames(pw, frames...)
+			}
+			pw.CloseWithError(err)
+		}()
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/run", body)
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", contentType)
+	client := c.HTTP
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+
+	out := &BatchOutcome{
+		Outputs: make([]*tensor.Dense, n),
+		Errs:    make([]error, n),
+		Stats:   StatsFromHeaders(resp.Header),
+	}
+	status := strings.Split(resp.Header.Get(HeaderBatchStatus), ",")
+	if len(status) != n {
+		return nil, fmt.Errorf("wire: response reports %d instance statuses, want %d", len(status), n)
+	}
+	var messages []string
+	if raw := resp.Header.Get(HeaderBatchErrors); raw != "" {
+		if err := json.Unmarshal([]byte(raw), &messages); err != nil || len(messages) != n {
+			return nil, fmt.Errorf("wire: malformed %s header", HeaderBatchErrors)
+		}
+	}
+	limit := DefaultMaxElements
+	if shape, ok := req.Shapes[out.Stats.Output]; ok {
+		limit = 1
+		for _, s := range shape {
+			limit *= s
+		}
+	}
+	for i, st := range status {
+		if st != BatchStatusOK {
+			msg := ""
+			if messages != nil {
+				msg = messages[i]
+			}
+			out.Errs[i] = &InstanceError{Index: i, Kind: st, Message: msg}
+			continue
+		}
+		t, err := DecodeLimit(resp.Body, limit)
+		if err != nil {
+			return nil, fmt.Errorf("wire: decoding instance %d of the response: %w", i, err)
+		}
+		out.Outputs[i] = t.Rename(out.Stats.Output)
+	}
+	return out, nil
 }
 
 // wireOrder returns the statement-order names of req's wire-marked inputs —

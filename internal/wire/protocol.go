@@ -51,6 +51,23 @@ const (
 	HeaderCompileMS = "Distal-Compile-Ms"
 )
 
+// Batched-run response headers. A batched run (RunRequest.Batch set)
+// answers 200 as long as at least one instance executed: HeaderBatch
+// carries the declared instance count, HeaderBatchStatus one comma-
+// separated token per instance ("ok" or the failing error kind, e.g.
+// "input"), and — only when some instance failed — HeaderBatchErrors a
+// JSON string array with one message per instance ("" for survivors). The
+// body concatenates the output frames of the surviving instances in
+// instance order; failed instances contribute no frame.
+const (
+	HeaderBatch       = "Distal-Batch"
+	HeaderBatchStatus = "Distal-Batch-Status"
+	HeaderBatchErrors = "Distal-Batch-Errors"
+)
+
+// BatchStatusOK is the HeaderBatchStatus token of a surviving instance.
+const BatchStatusOK = "ok"
+
 // FillWire marks an input that arrives as a wire frame instead of a fill.
 const FillWire = "wire"
 
@@ -68,6 +85,17 @@ type RunRequest struct {
 	// order; fills are materialized server-side so a client can exercise a
 	// plan without shipping the data.
 	Inputs map[string]string `json:"inputs,omitempty"`
+	// Batch executes N independent problem instances through one cached
+	// plan in a single walk. Absent (nil) means the legacy single-instance
+	// protocol. When set, the body's frames carry the instances
+	// back-to-back in instance-major order — instance 0's wire-marked
+	// tensors in statement order, then instance 1's, and so on — and fills
+	// materialize per instance ("rand:<seed>" becomes seed+i for instance
+	// i, see ApplyFillInstance). The response streams one output frame per
+	// surviving instance, concatenated in instance order, with per-instance
+	// failures reported in the batch headers. Zero, negative, or
+	// over-the-server-cap values are rejected as input errors (422).
+	Batch *int `json:"batch,omitempty"`
 	// TimeoutMS overrides the server's default per-request deadline.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
@@ -91,6 +119,24 @@ func ApplyFill(t *tensor.Dense, fill string) error {
 		return fmt.Errorf("bad fill %q (want %q, \"zero\", \"ones\", or \"rand:<seed>\")", fill, FillWire)
 	}
 	return nil
+}
+
+// ApplyFillInstance materializes a fill directive for one instance of a
+// batched run: "zero" and "ones" are identical across instances, while
+// "rand:<seed>" draws instance inst's data from seed+inst — so a batch of
+// rand-filled instances exercises N distinct data sets, and both ends of
+// the wire can reproduce every instance bit-identically. Instance 0 equals
+// ApplyFill.
+func ApplyFillInstance(t *tensor.Dense, fill string, inst int) error {
+	if strings.HasPrefix(fill, "rand:") {
+		seed, err := strconv.ParseInt(fill[len("rand:"):], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad fill %q: rand wants an integer seed", fill)
+		}
+		t.FillRandom(seed + int64(inst))
+		return nil
+	}
+	return ApplyFill(t, fill)
 }
 
 // ValidFill reports whether fill is a well-formed directive ("wire"
