@@ -8,24 +8,39 @@ import (
 	"distal/internal/ir"
 )
 
-// parseShapes parses "A=1024x1024,B=512x512" into the request shape map;
-// when src is empty and n > 0, every tensor of the statement gets extent n
-// in each of its dimensions (same contract as cmd/distal-tune).
-func parseShapes(stmtSrc, src string, n int) (map[string][]int, error) {
+// parseShapesMulti parses "A=1024x1024,B=512x512" into the request shape
+// map; when src is empty and n > 0, every shape-bearing tensor gets extent
+// n in each of its dimensions (same contract as cmd/distal-tune). A single
+// statement declares every tensor; a multi-statement program declares leaf
+// inputs only — intermediates' shapes are inferred server-side from their
+// producers.
+func parseShapesMulti(stmts []string, src string, n int) (map[string][]int, error) {
 	out := map[string][]int{}
 	if src == "" {
 		if n <= 0 {
 			return nil, fmt.Errorf("give -shapes or -n")
 		}
-		stmt, err := ir.Parse(stmtSrc)
-		if err != nil {
-			return nil, err
-		}
-		byName := map[string]int{stmt.LHS.Tensor: len(stmt.LHS.Indices)}
-		for _, a := range stmt.RHS.Accesses(nil) {
-			byName[a.Tensor] = len(a.Indices)
+		assigned := map[string]bool{}
+		byName := map[string]int{}
+		for _, s := range stmts {
+			stmt, err := ir.Parse(s)
+			if err != nil {
+				return nil, err
+			}
+			if len(stmts) == 1 {
+				// Single statement: the output's shape is declared too.
+				byName[stmt.LHS.Tensor] = len(stmt.LHS.Indices)
+			} else {
+				assigned[stmt.LHS.Tensor] = true
+			}
+			for _, a := range stmt.RHS.Accesses(nil) {
+				byName[a.Tensor] = len(a.Indices)
+			}
 		}
 		for name, rank := range byName {
+			if assigned[name] {
+				continue
+			}
 			shape := make([]int, rank)
 			for d := range shape {
 				shape[d] = n

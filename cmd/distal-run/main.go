@@ -25,6 +25,19 @@
 // seed+instance; .dt file inputs ship the same tensor to every instance.
 // -out writes the N output frames concatenated into one file, and -verify
 // checks every instance against the reference interpreter.
+//
+// Repeating -stmt sends a multi-statement program executed server-side as
+// one plan DAG, with the intermediates kept distributed between stages:
+//
+//	distal-run -stmt "D(i,j) = A(i,k) * B(k,j)" \
+//	           -stmt "E(i,j) = D(i,k) * C(k,j)" -n 256 \
+//	           -in A=a.dt -in B=rand:1 -in C=rand:2 -verify
+//
+// Each -sched/-formats flag applies to the -stmt at the same position (give
+// none, or one per statement); -in and -shapes name leaf inputs only —
+// intermediates are allocated server-side and never cross the wire. The
+// response streams the last statement's output, and -verify evaluates the
+// whole chain locally.
 package main
 
 import (
@@ -37,6 +50,7 @@ import (
 	"time"
 
 	"distal/internal/ir"
+	"distal/internal/program"
 	"distal/internal/tensor"
 	"distal/internal/wire"
 )
@@ -49,11 +63,14 @@ func (f *inFlag) Set(v string) error { *f = append(*f, v); return nil }
 
 func main() {
 	addr := flag.String("addr", "http://localhost:8080", "distal-serve base URL")
-	stmt := flag.String("stmt", "", "tensor index notation statement, e.g. \"A(i,j) = B(i,k) * C(k,j)\"")
-	shapes := flag.String("shapes", "", "per-tensor shapes, e.g. \"A=1024x1024,B=1024x1024,C=1024x1024\"")
+	var stmts inFlag
+	flag.Var(&stmts, "stmt", "tensor index notation statement, e.g. \"A(i,j) = B(i,k) * C(k,j)\"; repeat to send a multi-statement program executed as one plan DAG")
+	shapes := flag.String("shapes", "", "per-tensor shapes, e.g. \"A=1024x1024,B=1024x1024,C=1024x1024\" (multi-statement: leaf inputs only)")
 	n := flag.Int("n", 0, "shorthand: every tensor dimension gets extent n (ignored when -shapes is set)")
-	formats := flag.String("formats", "", "per-tensor distribution notation, e.g. \"A=xy->xy,B=xy->**\" (default: canonical tiling)")
-	sched := flag.String("sched", "", "schedule command text (default: the server's auto-schedule)")
+	var formats inFlag
+	flag.Var(&formats, "formats", "per-tensor distribution notation, e.g. \"A=xy->xy,B=xy->**\" (default: canonical tiling); repeatable, one per -stmt in order")
+	var scheds inFlag
+	flag.Var(&scheds, "sched", "schedule command text (default: the server's auto-schedule); repeatable, one per -stmt in order")
 	var ins inFlag
 	flag.Var(&ins, "in", "input tensor NAME=SOURCE; SOURCE is zero, ones, rand:<seed>, or a .dt file (repeatable)")
 	out := flag.String("out", "", "write the output tensor to this .dt file")
@@ -62,18 +79,46 @@ func main() {
 	batch := flag.Int("batch", 0, "execute N problem instances through one cached plan in a single walk (0 = single-instance)")
 	flag.Parse()
 
-	if *stmt == "" {
+	if len(stmts) == 0 {
 		fmt.Fprintln(os.Stderr, "distal-run: -stmt is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	req := wire.RunRequest{Stmt: *stmt, Schedule: *sched, Inputs: map[string]string{}}
+	if len(scheds) != 0 && len(scheds) != len(stmts) {
+		log.Fatalf("distal-run: %d -sched flags for %d statements (give none, or one per -stmt)", len(scheds), len(stmts))
+	}
+	if len(formats) != 0 && len(formats) != len(stmts) {
+		log.Fatalf("distal-run: %d -formats flags for %d statements (give none, or one per -stmt)", len(formats), len(stmts))
+	}
+	req := wire.RunRequest{Inputs: map[string]string{}}
 	var err error
-	if req.Shapes, err = parseShapes(*stmt, *shapes, *n); err != nil {
+	if req.Shapes, err = parseShapesMulti(stmts, *shapes, *n); err != nil {
 		log.Fatalf("distal-run: %v", err)
 	}
-	if req.Formats, err = parseFormats(*formats); err != nil {
-		log.Fatalf("distal-run: %v", err)
+	if len(stmts) == 1 {
+		req.Stmt = stmts[0]
+		if len(scheds) == 1 {
+			req.Schedule = scheds[0]
+		}
+		if len(formats) == 1 {
+			if req.Formats, err = parseFormats(formats[0]); err != nil {
+				log.Fatalf("distal-run: %v", err)
+			}
+		}
+	} else {
+		req.Stmts = make([]wire.StmtSpec, len(stmts))
+		for i, s := range stmts {
+			spec := wire.StmtSpec{Stmt: s}
+			if len(scheds) == len(stmts) {
+				spec.Schedule = scheds[i]
+			}
+			if len(formats) == len(stmts) {
+				if spec.Formats, err = parseFormats(formats[i]); err != nil {
+					log.Fatalf("distal-run: statement %d: %v", i, err)
+				}
+			}
+			req.Stmts[i] = spec
+		}
 	}
 
 	// Sort each -in into a server-side fill or a local .dt file to stream.
@@ -103,7 +148,7 @@ func main() {
 	defer cancel()
 	client := &wire.Client{BaseURL: strings.TrimRight(*addr, "/")}
 	if *batch > 0 {
-		runBatch(ctx, client, req, data, *batch, *out, *verify, *stmt)
+		runBatch(ctx, client, req, data, *batch, *out, *verify)
 		return
 	}
 	result, stats, err := client.Run(ctx, req, data)
@@ -123,7 +168,7 @@ func main() {
 	}
 
 	if *verify {
-		if err := verifyResult(*stmt, req, data, result); err != nil {
+		if err := verifyResult(req, data, result); err != nil {
 			log.Fatalf("distal-run: verify: %v", err)
 		}
 		fmt.Println("verify=ok")
@@ -135,7 +180,7 @@ func main() {
 // every instance; rand fills diverge per instance (seed+i on both ends, so
 // -verify can reconstruct each instance exactly). Exits nonzero when any
 // instance fails or any verification disagrees.
-func runBatch(ctx context.Context, client *wire.Client, req wire.RunRequest, data map[string]*tensor.Dense, n int, out string, verify bool, stmtSrc string) {
+func runBatch(ctx context.Context, client *wire.Client, req wire.RunRequest, data map[string]*tensor.Dense, n int, out string, verify bool) {
 	req.Batch = &n
 	var insts []map[string]*tensor.Dense
 	if len(data) > 0 {
@@ -189,7 +234,7 @@ func runBatch(ctx context.Context, client *wire.Client, req wire.RunRequest, dat
 			if outcome.Outputs[i] == nil {
 				continue
 			}
-			if err := verifyInstance(stmtSrc, req, data, outcome.Outputs[i], i); err != nil {
+			if err := verifyInstance(req, data, outcome.Outputs[i], i); err != nil {
 				log.Fatalf("distal-run: verify instance %d: %v", i, err)
 			}
 		}
@@ -202,15 +247,19 @@ func runBatch(ctx context.Context, client *wire.Client, req wire.RunRequest, dat
 
 // verifyResult reconstructs every input locally (streamed tensors are
 // already in hand; fills are deterministic on both ends), evaluates the
-// statement with the reference interpreter, and compares numerics.
-func verifyResult(stmtSrc string, req wire.RunRequest, data map[string]*tensor.Dense, got *tensor.Dense) error {
-	return verifyInstance(stmtSrc, req, data, got, 0)
+// statement — or the whole multi-statement chain — with the reference
+// interpreter, and compares numerics.
+func verifyResult(req wire.RunRequest, data map[string]*tensor.Dense, got *tensor.Dense) error {
+	return verifyInstance(req, data, got, 0)
 }
 
 // verifyInstance is verifyResult for instance inst of a batched run: fills
 // reconstruct with the per-instance seed offset the server applied.
-func verifyInstance(stmtSrc string, req wire.RunRequest, data map[string]*tensor.Dense, got *tensor.Dense, inst int) error {
-	stmt, err := ir.Parse(stmtSrc)
+func verifyInstance(req wire.RunRequest, data map[string]*tensor.Dense, got *tensor.Dense, inst int) error {
+	if len(req.Stmts) > 0 {
+		return verifyChainInstance(req, data, got, inst)
+	}
+	stmt, err := ir.Parse(req.Stmt)
 	if err != nil {
 		return err
 	}
@@ -235,6 +284,42 @@ func verifyInstance(stmtSrc string, req wire.RunRequest, data map[string]*tensor
 	}
 	if !got.EqualWithin(want, 1e-9) {
 		return fmt.Errorf("streamed result disagrees with the reference interpreter: max |diff| = %g", got.MaxAbsDiff(want))
+	}
+	return nil
+}
+
+// verifyChainInstance evaluates the whole multi-statement chain with the
+// sequential reference interpreter — leaf inputs from hand-held frames or
+// reconstructed fills — and compares the last statement's output against the
+// streamed result.
+func verifyChainInstance(req wire.RunRequest, data map[string]*tensor.Dense, got *tensor.Dense, inst int) error {
+	specs := make([]program.Statement, len(req.Stmts))
+	for i, st := range req.Stmts {
+		specs[i] = program.Statement{Stmt: st.Stmt, Formats: st.Formats, Schedule: st.Schedule}
+	}
+	p, err := program.Parse(specs, req.Shapes)
+	if err != nil {
+		return err
+	}
+	inputs := map[string]*tensor.Dense{}
+	for _, name := range p.Inputs() {
+		if t, ok := data[name]; ok {
+			inputs[name] = t
+			continue
+		}
+		t := tensor.New(name, req.Shapes[name]...)
+		if err := wire.ApplyFillInstance(t, req.Inputs[name], inst); err != nil {
+			return err
+		}
+		inputs[name] = t
+	}
+	outs, err := program.Evaluate(p, inputs)
+	if err != nil {
+		return err
+	}
+	want := outs[p.Output()]
+	if !got.EqualWithin(want, 1e-9) {
+		return fmt.Errorf("streamed result disagrees with the reference chain evaluation: max |diff| = %g", got.MaxAbsDiff(want))
 	}
 	return nil
 }

@@ -18,9 +18,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"distal"
 	"distal/internal/algorithms"
@@ -35,6 +37,7 @@ import (
 func main() {
 	alg := flag.String("alg", "summa", "algorithm: cannon, pumma, summa, johnson, solomonik, cosma")
 	expr := flag.String("expr", "", "arbitrary tensor index notation statement (overrides -alg), e.g. \"A(i,j) = B(i,j,k) * c(k)\"")
+	chain := flag.String("chain", "", "semicolon-separated multi-statement program (overrides -alg/-expr), e.g. \"D(i,j)=A(i,k)*B(k,j); E(i,j)=D(i,k)*C(k,j)\"; compiled as one plan DAG, each stage auto-scheduled")
 	sched := flag.String("sched", "", "schedule command text for -expr, e.g. \"divide(i,io,ii,4) reorder(io,ii,j,k) distribute(io)\"; empty auto-schedules")
 	n := flag.Int("n", 64, "square matrix / tensor mode dimension")
 	procs := flag.Int("procs", 4, "processor count")
@@ -45,7 +48,13 @@ func main() {
 	flag.Parse()
 
 	var err error
-	if *expr != "" {
+	if *chain != "" {
+		if *sched != "" {
+			err = fmt.Errorf("-sched does not apply to -chain (its stages auto-schedule; use the API or /v1/run for per-stage schedules)")
+		} else {
+			err = runChain(*chain, *n, *procs, *gpu, *simulate, *trace)
+		}
+	} else if *expr != "" {
 		err = runExpr(*expr, *sched, *n, *procs, *gpu, *simulate, *trace, *maxPoints)
 	} else if *sched != "" {
 		err = fmt.Errorf("-sched only applies to -expr statements; the -alg schedules are built in")
@@ -142,6 +151,93 @@ func runExpr(expr, schedText string, n, procs int, gpu, simulate, trace bool, ma
 	return show(prog.P, gpu, simulate, trace, maxPoints)
 }
 
+// runChain compiles a semicolon-separated statement list into a plan DAG:
+// leaf tensors get extent n per mode and the canonical tiling, each stage
+// auto-schedules, and intermediates stay distributed between stages.
+func runChain(src string, n, procs int, gpu, simulate, trace bool) error {
+	var stmts []distal.Statement
+	for _, s := range strings.Split(src, ";") {
+		if s = strings.TrimSpace(s); s != "" {
+			stmts = append(stmts, distal.Statement{Stmt: s})
+		}
+	}
+	if len(stmts) == 0 {
+		return fmt.Errorf("-chain has no statements")
+	}
+	// Leaf tensors are the ones no statement assigns; every mode gets
+	// extent n, and every tensor is partitioned over the 1-D machine by its
+	// first mode (the same shorthand as -expr). Formats are per statement,
+	// identical for a tensor wherever it appears, so producer/consumer
+	// handoffs never need a repartition here.
+	names := "xyzwuv"
+	assigned := map[string]bool{}
+	rankOf := map[string]int{}
+	for i := range stmts {
+		stmt, err := ir.Parse(stmts[i].Stmt)
+		if err != nil {
+			return err
+		}
+		assigned[stmt.LHS.Tensor] = true
+		fmts := map[string]string{}
+		rankOf[stmt.LHS.Tensor] = len(stmt.LHS.Indices)
+		fmts[stmt.LHS.Tensor] = ""
+		for _, a := range stmt.RHS.Accesses(nil) {
+			rankOf[a.Tensor] = len(a.Indices)
+			fmts[a.Tensor] = ""
+		}
+		for name := range fmts {
+			rank := rankOf[name]
+			if rank == 0 {
+				rank = 1 // a scalar access reads a rank-1 tensor of extent 1
+			}
+			if rank > len(names) {
+				return fmt.Errorf("tensor %s has rank %d; -chain supports ranks up to %d", name, rank, len(names))
+			}
+			fmts[name] = names[:rank] + "->" + names[:1]
+		}
+		stmts[i].Formats = fmts
+	}
+	shapes := map[string][]int{}
+	for name, rank := range rankOf {
+		if assigned[name] {
+			continue
+		}
+		if rank == 0 {
+			shapes[name] = []int{1}
+			continue
+		}
+		shape := make([]int, rank)
+		for d := range shape {
+			shape[d] = n
+		}
+		shapes[name] = shape
+	}
+	sess := distal.NewSession(newMachine(procs, gpu), distal.WithParams(params(gpu)))
+	pp, err := sess.CompileProgram(context.Background(), distal.Request{Shapes: shapes, Stmts: stmts})
+	if err != nil {
+		return err
+	}
+	fmt.Println("=== program ===")
+	fmt.Printf("statements    %d\n", len(stmts))
+	fmt.Printf("stages        %d (%d repartitions)\n", pp.Stages(), pp.Repartitions())
+	fmt.Printf("inputs        %s\n", strings.Join(pp.Inputs(), ", "))
+	fmt.Printf("output        %s %v\n", pp.Output(), pp.Shape(pp.Output()))
+	fmt.Printf("plan          %s cached=%t\n", pp.Key(), pp.Stats().Cached)
+	if !simulate && !trace {
+		return nil
+	}
+	var mods []distal.ExecOption
+	if trace {
+		mods = append(mods, distal.WithTrace())
+	}
+	res, err := pp.Simulate(context.Background(), mods...)
+	if err != nil {
+		return err
+	}
+	printResult(res, trace)
+	return nil
+}
+
 // runAlg compiles one of the named matmul algorithms from the library.
 func runAlg(alg string, n, procs int, gpu, simulate, trace bool, maxPoints int) error {
 	cfg := algorithms.MatmulConfig{N: n, Procs: procs, GPU: gpu}
@@ -187,6 +283,11 @@ func execute(prog *legion.Program, gpu, simulate, trace bool) error {
 	if err != nil {
 		return err
 	}
+	printResult(res, trace)
+	return nil
+}
+
+func printResult(res *legion.Result, trace bool) {
 	fmt.Println()
 	fmt.Println("=== simulated execution ===")
 	fmt.Printf("time          %.6f s\n", res.Time)
@@ -214,5 +315,4 @@ func execute(prog *legion.Program, gpu, simulate, trace bool) error {
 			fmt.Printf("... %d more copies\n", len(res.Trace)-limit)
 		}
 	}
-	return nil
 }

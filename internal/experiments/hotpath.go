@@ -113,6 +113,12 @@ func Hotpath(runs int) ([]HotpathRow, error) {
 	}
 	defer closeWire()
 	cases = append(cases, wireCases...)
+	chainCases, closeChain, err := chainHotpath()
+	if err != nil {
+		return nil, fmt.Errorf("hotpath chain setup: %w", err)
+	}
+	defer closeChain()
+	cases = append(cases, chainCases...)
 	var rows []HotpathRow
 	for _, c := range cases {
 		ms, err := best(c.f)

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"context"
+	"net/http/httptest"
+
+	"distal"
+	"distal/internal/serve"
+	"distal/internal/tensor"
+	"distal/internal/wire"
+)
+
+// chainHotpath builds the `chain-*` measurements: a two-statement low-rank
+// chain E = (A*B)*C — A is n x k and B is k x n with k << n, so the
+// intermediate D is a full n x n matrix while each stage does only O(n^2 k)
+// flops. That is the regime the plan-DAG path exists for: the cost of the
+// chain is moving D, not computing it. chain-dag is one multi-statement
+// POST /v1/run — the server keeps D distributed between the stages, so the
+// only tensor on the wire is the small output E. chain-seq is the pre-DAG
+// workflow the program path replaces: run D = A*B, gather and stream all of
+// D back to the client, then re-upload D as a wire frame for E = D*C — two
+// round trips plus 2 n^2 floats of extra wire traffic. Both plans are warmed
+// before timing so the rows measure the run path, not compilation. Gated
+// intra-run as chain-dag<chain-seq.
+func chainHotpath() (cases []hotpathCase, close func(), err error) {
+	const n, k = 256, 8
+	sess := distal.NewSession(distal.NewMachine(distal.CPU, 4, 4))
+	ts := httptest.NewServer(serve.New(sess, serve.Config{}))
+
+	// Stage 1 contracts the short mode (extent k); stage 2 contracts the
+	// long one (extent n). Both are the SUMMA template: 4x4 tiles, the
+	// output communicated at the inner distributed loop, the operands at the
+	// contraction chunk loop.
+	s1 := "divide(i,io,ii,4) divide(j,jo,ji,4) reorder(io,jo,ii,ji) distribute(io,jo) " +
+		"split(k,ko,ki,8) reorder(io,jo,ko,ii,ji,ki) communicate(jo,D) communicate(ko,A,B)"
+	s2 := "divide(i,io,ii,4) divide(l,lo,li,4) reorder(io,lo,ii,li) distribute(io,lo) " +
+		"split(j,jo,ji,64) reorder(io,lo,jo,ii,li,ji) communicate(lo,E) communicate(jo,D,C)"
+	dagReq := wire.RunRequest{
+		Shapes: map[string][]int{"A": {n, k}, "B": {k, n}, "C": {n, k}},
+		Stmts: []wire.StmtSpec{
+			{Stmt: "D(i,j) = A(i,k) * B(k,j)", Schedule: s1},
+			{Stmt: "E(i,l) = D(i,j) * C(j,l)", Schedule: s2},
+		},
+		Inputs: map[string]string{"A": "rand:1", "B": "rand:2", "C": "rand:3"},
+	}
+	seq1 := wire.RunRequest{
+		Stmt:     "D(i,j) = A(i,k) * B(k,j)",
+		Shapes:   map[string][]int{"A": {n, k}, "B": {k, n}, "D": {n, n}},
+		Schedule: s1,
+		Inputs:   map[string]string{"A": "rand:1", "B": "rand:2"},
+	}
+	seq2 := wire.RunRequest{
+		Stmt:     "E(i,l) = D(i,j) * C(j,l)",
+		Shapes:   map[string][]int{"D": {n, n}, "C": {n, k}, "E": {n, k}},
+		Schedule: s2,
+		Inputs:   map[string]string{"D": wire.FillWire, "C": "rand:3"},
+	}
+
+	client := &wire.Client{BaseURL: ts.URL, HTTP: ts.Client()}
+	runSeq := func() error {
+		d, _, err := client.Run(context.Background(), seq1, nil)
+		if err != nil {
+			return err
+		}
+		_, _, err = client.Run(context.Background(), seq2, map[string]*tensor.Dense{"D": d})
+		return err
+	}
+	// Warm every plan (the chain stages and the two standalone statements
+	// compile to the same two cache entries) so the timed iterations compare
+	// run paths, not an amortized compile.
+	if _, _, err := client.Run(context.Background(), dagReq, nil); err != nil {
+		ts.Close()
+		return nil, nil, err
+	}
+	if err := runSeq(); err != nil {
+		ts.Close()
+		return nil, nil, err
+	}
+
+	cases = []hotpathCase{
+		{"chain-dag", func() error {
+			_, _, err := client.Run(context.Background(), dagReq, nil)
+			return err
+		}},
+		{"chain-seq", runSeq},
+	}
+	return cases, ts.Close, nil
+}

@@ -3,7 +3,6 @@ package legion
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -126,6 +125,12 @@ type regState struct {
 	perLeaf    map[int][]*instance // all live instances by leaf
 	transFIFO  map[int][]*instance // per-leaf eviction order
 
+	// dirty marks that some launch wrote the region since its transients
+	// were last valid: when a later stage adopts the region (RunStages),
+	// the stale transient replicas are dropped so only the flushed owners
+	// serve as copy sources. Within one stage the flag is inert.
+	dirty bool
+
 	// Live transient instances grouped by rect, rect-keyed two ways so the
 	// candidate search never scans the whole group population:
 	// transByKey[k] is the group whose rect IS k (the exact-match
@@ -211,31 +216,33 @@ type accSlot struct {
 }
 
 type executor struct {
-	prog    *Program
-	opt     Options
-	ctx     context.Context
-	s       *sim.Sim
-	lg      machine.Grid
-	gpuMem  bool
-	reg     map[*Region]*regState
-	data    []map[*Region]*tensor.Dense // Real mode: resolved canonical data, one map per batch instance
-	batch   int                         // number of problem instances (1 unless Options.Batch)
-	accs    map[accKey]*accumulator
-	accSeq  []*accumulator
-	trace   []CopyRecord
-	candBuf []*instance // scratch for ensureLocal's candidate collection
-	instSeq int64       // next transient installation sequence number
-	steps   int         // points since the last cancellation checkpoint
+	prog     *Program
+	opt      Options
+	ctx      context.Context
+	s        *sim.Sim
+	lg       machine.Grid
+	gpuMem   bool
+	reg      map[*Region]*regState
+	data     []map[*Region]*tensor.Dense // Real mode: resolved canonical data, one map per batch instance
+	binds    []map[string]*tensor.Dense  // Real mode: the caller's name-keyed bindings (Batch, or Data as one instance)
+	stageReg []map[string]*Region        // per completed stage: region name -> region, for handoff resolution
+	batch    int                         // number of problem instances (1 unless Options.Batch)
+	accs     map[accKey]*accumulator
+	accSeq   []*accumulator
+	trace    []CopyRecord
+	candBuf  []*instance // scratch for ensureLocal's candidate collection
+	instSeq  int64       // next transient installation sequence number
+	steps    int         // points since the last cancellation checkpoint
 
 	// Real-mode task batch: runLaunch defers kernel invocations here and
 	// runRealTasks drains them over the worker pool at the launch's end.
 	// Everything below is per-launch scratch reused across launches.
-	workers   int     // resolved Options.RealWorkers
-	realTasks []*Ctx  // deferred tasks, point-major then instance order
-	ctxFree   []*Ctx  // Ctx free list (map storage reuse)
-	ctxBatch  []*Ctx  // per-point scratch: one deferred Ctx per instance
-	pointSlab []int   // per-launch backing for deferred tasks' Points
-	ufParent  []int32 // union-find scratch for task grouping
+	workers   int               // resolved Options.RealWorkers
+	realTasks []*Ctx            // deferred tasks, point-major then instance order
+	ctxFree   []*Ctx            // Ctx free list (map storage reuse)
+	ctxBatch  []*Ctx            // per-point scratch: one deferred Ctx per instance
+	pointSlab []int             // per-launch backing for deferred tasks' Points
+	ufParent  []int32           // union-find scratch for task grouping
 	taskAccs  []*accumulator    // per-point write-target buffer
 	accFirst  map[accSlot]int32 // (accumulator, instance) -> first task using it
 	readSet   map[*Region]bool  // regions read by the current launch
@@ -263,133 +270,12 @@ const cancelCheckEvery = 256
 // ctx's error at the next checkpoint once ctx is done. The event loop
 // checks between launches and every cancelCheckEvery points within one, so
 // even single-launch programs over large domains cancel promptly.
+//
+// It is the single-stage form of RunStages: multi-statement plan DAGs run
+// their stages through the same event loop with intermediates handed off
+// between stages in place.
 func RunContext(ctx context.Context, p *Program, opt Options) (*Result, error) {
-	if opt.TransientWindow == 0 {
-		opt.TransientWindow = 2
-	}
-	e := &executor{
-		prog:   p,
-		opt:    opt,
-		ctx:    ctx,
-		s:      sim.New(p.Machine, opt.Params),
-		lg:     p.Machine.LeafGrid(),
-		gpuMem: p.Machine.LeafMem() == machine.GPUFBMem,
-		reg:    map[*Region]*regState{},
-		accs:   map[accKey]*accumulator{},
-	}
-	e.workers = opt.RealWorkers
-	if e.workers <= 0 {
-		e.workers = min(runtime.GOMAXPROCS(0), 16)
-	}
-	e.batch = 1
-	if n := len(opt.Batch); n > 0 {
-		if !opt.Real {
-			return nil, fmt.Errorf("legion: Options.Batch requires Real mode")
-		}
-		e.batch = n
-	}
-	if err := e.placeInitial(); err != nil {
-		return nil, err
-	}
-	for _, l := range p.Launches {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		ends := make([]float64, e.lg.Size())
-		if n := len(e.endHist); n > 0 {
-			copy(ends, e.endHist[n-1]) // leaves without a task keep their last end
-		}
-		e.launchEnds = ends
-		if err := e.runLaunch(l); err != nil {
-			return nil, err
-		}
-		e.endHist = append(e.endHist, ends)
-		if len(e.endHist) > opt.TransientWindow {
-			e.endHist = e.endHist[1:]
-		}
-		if opt.Synchronous {
-			e.s.Barrier()
-		}
-	}
-	e.flushAccumulators()
-	res := &Result{
-		Time:         e.s.Makespan(),
-		Flops:        e.s.FlopsTotal,
-		IntraBytes:   e.s.IntraBytes,
-		InterBytes:   e.s.InterBytes,
-		Copies:       e.s.CopyCount,
-		PeakMemBytes: e.s.PeakMem(),
-		Trace:        e.trace,
-	}
-	res.OOM, res.OOMLeaf, _ = e.s.OOM()
-	return res, nil
-}
-
-// placeInitial resolves the execution's data binding, then creates the
-// persistent owner instances dictated by each region's placement and charges
-// their memory.
-func (e *executor) placeInitial() error {
-	var binds []map[string]*tensor.Dense
-	if e.opt.Real {
-		binds = e.opt.Batch
-		if len(binds) == 0 {
-			binds = []map[string]*tensor.Dense{e.opt.Data}
-		}
-		e.data = make([]map[*Region]*tensor.Dense, len(binds))
-		for b := range e.data {
-			e.data[b] = make(map[*Region]*tensor.Dense, len(e.prog.Regions))
-		}
-	}
-	for _, r := range e.prog.Regions {
-		if e.opt.Real {
-			for b, bind := range binds {
-				inst := ""
-				if e.batch > 1 {
-					inst = fmt.Sprintf(" (instance %d)", b)
-				}
-				d := bind[r.Name]
-				if d == nil {
-					d = r.Data
-				}
-				if d == nil {
-					return fmt.Errorf("legion: Real execution requires data bound to region %s%s", r.Name, inst)
-				}
-				if len(d.Shape()) != len(r.Shape) {
-					return fmt.Errorf("legion: data bound to region %s%s has rank %d, want %d", r.Name, inst, len(d.Shape()), len(r.Shape))
-				}
-				for dim := range r.Shape {
-					if d.Shape()[dim] != r.Shape[dim] {
-						return fmt.Errorf("legion: data bound to region %s%s has shape %v, want %v", r.Name, inst, d.Shape(), r.Shape)
-					}
-				}
-				e.data[b][r] = d
-			}
-		}
-		rs := &regState{
-			region:     r,
-			perLeaf:    map[int][]*instance{},
-			transFIFO:  map[int][]*instance{},
-			transByKey: map[tensor.RectKey]*transGroup{},
-			volBuckets: map[int64][]*transGroup{},
-			cover:      map[tensor.RectKey][]*instance{},
-			pieces:     map[tensor.RectKey][]ownerPiece{},
-		}
-		n := e.lg.Size()
-		coord := make([]int, e.lg.Rank())
-		for leaf := 0; leaf < n; leaf++ {
-			e.lg.DelinearizeInto(leaf, coord)
-			rect, ok := r.OwnerRect(e.prog.Machine, coord)
-			if !ok || rect.Empty() {
-				continue
-			}
-			inst := &instance{leaf: leaf, rect: rect, persistent: true, live: true, bytes: r.Bytes(rect)}
-			rs.persistent = append(rs.persistent, inst)
-			rs.perLeaf[leaf] = append(rs.perLeaf[leaf], inst)
-			e.s.Alloc(leaf, inst.bytes)
-		}
-		e.reg[r] = rs
-	}
-	return nil
+	return RunStages(ctx, []Stage{{Prog: p}}, opt)
 }
 
 // runLaunch walks the launch domain once, serially, doing all simulated-time
@@ -951,7 +837,19 @@ func (e *executor) writeTarget(q Req, leaf int) *accumulator {
 // trees do) before the final copy to the owner; other privileges copy
 // directly. Copy and combine costs are charged; in Real mode each
 // accumulator's data is combined into the canonical tensor.
+//
+// For multi-stage runs the flush also publishes the written state to later
+// stages: every written region is marked dirty (stale transients are dropped
+// when a stage adopts it), the owner instances' validAt advances to the time
+// their piece of the flush landed — so a consumer stage's copies start no
+// earlier than the data actually existed — and the non-in-place scratch
+// buffers are freed. A single-stage run sees none of this: the flush is the
+// last event, validAt is never read again, and freeing scratch cannot lower
+// the already-recorded memory high-water mark.
 func (e *executor) flushAccumulators() {
+	for _, a := range e.accSeq {
+		e.reg[a.region].dirty = true
+	}
 	if e.opt.Real {
 		for _, a := range e.accSeq {
 			if a.inPlace {
@@ -1018,12 +916,29 @@ func (e *executor) flushAccumulators() {
 		for _, a := range accs {
 			for _, op := range pieces {
 				if op.inst.leaf == a.leaf {
+					op.inst.validAt = maxf(op.inst.validAt, a.lastUse)
 					continue
 				}
 				end := e.s.Copy(a.leaf, op.inst.leaf, op.bytes, a.lastUse, e.gpuMem, replicas)
 				e.record(nil, nil, Req{Region: region, Rect: op.piece, Priv: a.combine}, a.leaf, op.inst.leaf, a.lastUse, end)
+				op.inst.validAt = maxf(op.inst.validAt, end)
 			}
 		}
+	}
+	// In-place accumulators wrote straight into their owner instance; its
+	// contents are valid once the last writing task retired. Non-in-place
+	// scratch has been folded into the owners above and is released.
+	for _, a := range e.accSeq {
+		if a.inPlace {
+			rs := e.reg[a.region]
+			for _, inst := range rs.perLeaf[a.leaf] {
+				if inst.persistent && inst.rect.ContainsRect(a.rect) {
+					inst.validAt = maxf(inst.validAt, a.lastUse)
+				}
+			}
+			continue
+		}
+		e.s.Free(a.leaf, a.region.Bytes(a.rect))
 	}
 	e.accSeq = nil
 	e.accs = map[accKey]*accumulator{}

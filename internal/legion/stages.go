@@ -1,0 +1,276 @@
+package legion
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"distal/internal/machine"
+	"distal/internal/sim"
+	"distal/internal/tensor"
+)
+
+// Handoff wires one region of a stage to the state an earlier stage left
+// behind: the consumer's region To adopts the producer's region state for
+// Region — the persistent owner instances stay distributed exactly where
+// the producer placed them, their contents become valid at the producer's
+// flush times, and (in Real mode) the consumer reads the producer's
+// canonical tensor. A handoff is the "no gather-to-root" contract of a
+// plan DAG: an intermediate never funnels through a single leaf between
+// stages.
+//
+// A handoff is only sound when the two regions agree on shape and on
+// placement (the adopting region's owner rects must be the ones the
+// producer created); callers that want a different consumer layout insert
+// an explicit repartition stage instead.
+type Handoff struct {
+	// From is the producing stage's index in the stage list; it must have
+	// run before the adopting stage.
+	From int
+	// Region names the region in the producing stage's program.
+	Region string
+	// To names the adopting region in this stage's program. Empty means
+	// the same name as Region.
+	To string
+}
+
+// Stage is one program of a multi-stage execution: a compiled statement
+// plus the handoffs connecting its regions to earlier stages' results.
+type Stage struct {
+	Prog    *Program
+	Inherit []Handoff
+}
+
+// RunStages executes a list of compiled programs as one plan DAG in stage
+// order, under one simulated clock and one memory account. Regions named by
+// a Handoff adopt the producing stage's instance state in place —
+// intermediates stay distributed between stages — while the remaining
+// regions are placed exactly as an initial placement. Each stage's
+// accumulators flush before the next stage places, so a consumer's copies
+// price against the time the producer's owners actually became valid.
+//
+// A single-stage call is exactly RunContext: the per-stage sequence
+// (place, launches, flush) reduces to the single-program event loop, so
+// simulated metrics of one-stage runs are bit-identical to the
+// single-program path by construction.
+func RunStages(ctx context.Context, stages []Stage, opt Options) (*Result, error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("legion: no stages to run")
+	}
+	if opt.TransientWindow == 0 {
+		opt.TransientWindow = 2
+	}
+	first := stages[0].Prog
+	for i := range stages {
+		if stages[i].Prog == nil {
+			return nil, fmt.Errorf("legion: stage %d has no program", i)
+		}
+		if stages[i].Prog.Machine != first.Machine {
+			return nil, fmt.Errorf("legion: stage %d targets a different machine than stage 0", i)
+		}
+	}
+	e := &executor{
+		prog:   first,
+		opt:    opt,
+		ctx:    ctx,
+		s:      sim.New(first.Machine, opt.Params),
+		lg:     first.Machine.LeafGrid(),
+		gpuMem: first.Machine.LeafMem() == machine.GPUFBMem,
+		reg:    map[*Region]*regState{},
+		accs:   map[accKey]*accumulator{},
+	}
+	e.workers = opt.RealWorkers
+	if e.workers <= 0 {
+		e.workers = min(runtime.GOMAXPROCS(0), 16)
+	}
+	e.batch = 1
+	if n := len(opt.Batch); n > 0 {
+		if !opt.Real {
+			return nil, fmt.Errorf("legion: Options.Batch requires Real mode")
+		}
+		e.batch = n
+	}
+	if opt.Real {
+		e.binds = opt.Batch
+		if len(e.binds) == 0 {
+			e.binds = []map[string]*tensor.Dense{opt.Data}
+		}
+		e.data = make([]map[*Region]*tensor.Dense, len(e.binds))
+		for b := range e.data {
+			e.data[b] = map[*Region]*tensor.Dense{}
+		}
+	}
+	for si := range stages {
+		st := &stages[si]
+		e.prog = st.Prog
+		if err := e.placeStage(si, st); err != nil {
+			return nil, err
+		}
+		for _, l := range st.Prog.Launches {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			ends := make([]float64, e.lg.Size())
+			if n := len(e.endHist); n > 0 {
+				copy(ends, e.endHist[n-1]) // leaves without a task keep their last end
+			}
+			e.launchEnds = ends
+			if err := e.runLaunch(l); err != nil {
+				return nil, err
+			}
+			e.endHist = append(e.endHist, ends)
+			if len(e.endHist) > opt.TransientWindow {
+				e.endHist = e.endHist[1:]
+			}
+			if opt.Synchronous {
+				e.s.Barrier()
+			}
+		}
+		e.flushAccumulators()
+	}
+	res := &Result{
+		Time:         e.s.Makespan(),
+		Flops:        e.s.FlopsTotal,
+		IntraBytes:   e.s.IntraBytes,
+		InterBytes:   e.s.InterBytes,
+		Copies:       e.s.CopyCount,
+		PeakMemBytes: e.s.PeakMem(),
+		Trace:        e.trace,
+	}
+	res.OOM, res.OOMLeaf, _ = e.s.OOM()
+	return res, nil
+}
+
+// placeStage resolves stage si's regions: regions named by a Handoff adopt
+// the producing stage's instance state (and, in Real mode, its canonical
+// data) in place, the rest are validated and placed exactly as an initial
+// placement.
+func (e *executor) placeStage(si int, st *Stage) error {
+	inherit := map[string]Handoff{}
+	for _, h := range st.Inherit {
+		to := h.To
+		if to == "" {
+			to = h.Region
+		}
+		if h.From < 0 || h.From >= si {
+			return fmt.Errorf("legion: stage %d inherits %s from stage %d, which has not run", si, to, h.From)
+		}
+		if _, dup := inherit[to]; dup {
+			return fmt.Errorf("legion: stage %d inherits region %s twice", si, to)
+		}
+		if e.stageReg[h.From][h.Region] == nil {
+			return fmt.Errorf("legion: stage %d inherits %s from stage %d, which has no such region", si, h.Region, h.From)
+		}
+		inherit[to] = h
+	}
+	named := make(map[string]*Region, len(e.prog.Regions))
+	for _, r := range e.prog.Regions {
+		named[r.Name] = r
+		h, adopted := inherit[r.Name]
+		if !adopted {
+			if err := e.placeRegion(r); err != nil {
+				return err
+			}
+			continue
+		}
+		delete(inherit, r.Name)
+		src := e.stageReg[h.From][h.Region]
+		if len(src.Shape) != len(r.Shape) {
+			return fmt.Errorf("legion: stage %d region %s has rank %d, inherited %s has %d", si, r.Name, len(r.Shape), h.Region, len(src.Shape))
+		}
+		for d := range r.Shape {
+			if src.Shape[d] != r.Shape[d] {
+				return fmt.Errorf("legion: stage %d region %s has shape %v, inherited %s has %v", si, r.Name, r.Shape, h.Region, src.Shape)
+			}
+		}
+		rs := e.reg[src]
+		if rs.dirty {
+			// The producer rewrote the canonical contents at its flush:
+			// transient replicas copied before that are stale and must not
+			// serve as copy sources in this stage. The persistent owners
+			// carry the flushed data (validAt was bumped to the flush end).
+			e.dropTransients(rs)
+			rs.dirty = false
+		}
+		e.reg[r] = rs
+		for b := range e.data {
+			if d := e.data[b][src]; d != nil {
+				e.data[b][r] = d
+			}
+		}
+	}
+	for to := range inherit {
+		return fmt.Errorf("legion: stage %d inherits into region %s, which its program does not declare", si, to)
+	}
+	e.stageReg = append(e.stageReg, named)
+	return nil
+}
+
+// placeRegion validates a fresh region's data binding and creates the
+// persistent owner instances its placement dictates, charging their memory.
+func (e *executor) placeRegion(r *Region) error {
+	if e.opt.Real {
+		for b, bind := range e.binds {
+			inst := ""
+			if e.batch > 1 {
+				inst = fmt.Sprintf(" (instance %d)", b)
+			}
+			d := bind[r.Name]
+			if d == nil {
+				d = r.Data
+			}
+			if d == nil {
+				return fmt.Errorf("legion: Real execution requires data bound to region %s%s", r.Name, inst)
+			}
+			if len(d.Shape()) != len(r.Shape) {
+				return fmt.Errorf("legion: data bound to region %s%s has rank %d, want %d", r.Name, inst, len(d.Shape()), len(r.Shape))
+			}
+			for dim := range r.Shape {
+				if d.Shape()[dim] != r.Shape[dim] {
+					return fmt.Errorf("legion: data bound to region %s%s has shape %v, want %v", r.Name, inst, d.Shape(), r.Shape)
+				}
+			}
+			e.data[b][r] = d
+		}
+	}
+	rs := &regState{
+		region:     r,
+		perLeaf:    map[int][]*instance{},
+		transFIFO:  map[int][]*instance{},
+		transByKey: map[tensor.RectKey]*transGroup{},
+		volBuckets: map[int64][]*transGroup{},
+		cover:      map[tensor.RectKey][]*instance{},
+		pieces:     map[tensor.RectKey][]ownerPiece{},
+	}
+	n := e.lg.Size()
+	coord := make([]int, e.lg.Rank())
+	for leaf := 0; leaf < n; leaf++ {
+		e.lg.DelinearizeInto(leaf, coord)
+		rect, ok := r.OwnerRect(e.prog.Machine, coord)
+		if !ok || rect.Empty() {
+			continue
+		}
+		inst := &instance{leaf: leaf, rect: rect, persistent: true, live: true, bytes: r.Bytes(rect)}
+		rs.persistent = append(rs.persistent, inst)
+		rs.perLeaf[leaf] = append(rs.perLeaf[leaf], inst)
+		e.s.Alloc(leaf, inst.bytes)
+	}
+	e.reg[r] = rs
+	return nil
+}
+
+// dropTransients frees every live transient instance of a region and resets
+// its transient indexes; the persistent owners are untouched.
+func (e *executor) dropTransients(rs *regState) {
+	for leaf, insts := range rs.transFIFO {
+		for _, inst := range insts {
+			inst.live = false
+			e.s.Free(leaf, inst.bytes)
+			rs.perLeaf[leaf] = removeInst(rs.perLeaf[leaf], inst)
+		}
+	}
+	rs.transFIFO = map[int][]*instance{}
+	rs.transByKey = map[tensor.RectKey]*transGroup{}
+	rs.volBuckets = map[int64][]*transGroup{}
+	rs.volumes = nil
+}

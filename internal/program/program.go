@@ -1,0 +1,303 @@
+// Package program parses multi-statement tensor programs into dependency
+// DAGs. A program is a list of tensor index notation statements whose
+// left-hand sides name intermediates that later statements consume — e.g.
+// "D(i,j) = A(i,k) * B(k,j)" feeding "E(i,j) = D(i,k) * C(k,j)". The parser
+// classifies every tensor as a leaf input (never assigned; its shape must be
+// declared) or an assigned tensor (its shape is inferred from the producing
+// statement's right-hand side), orders the statements topologically, and
+// rejects programs that cannot execute: duplicate assignments, dependency
+// cycles, shape conflicts, and declarations for tensors the program computes
+// itself.
+//
+// The package is shared by both ends of the wire: the distal session layer
+// compiles a parsed program into a plan DAG, and the wire client derives the
+// leaf-input frame order from the same Parse, so client and server always
+// agree on which tensors ride as frames and in what order.
+package program
+
+import (
+	"fmt"
+
+	"distal/internal/ir"
+	"distal/internal/tensor"
+)
+
+// Statement is one statement of a multi-statement program: the index
+// notation text plus its own format annotations and schedule. Formats may
+// only name tensors of this statement; an empty schedule means the session
+// auto-schedules the stage.
+type Statement struct {
+	Stmt     string
+	Formats  map[string]string
+	Schedule string
+}
+
+// Stage is one parsed statement in executable position.
+type Stage struct {
+	// Index is the statement's position in the source list.
+	Index int
+	// Assign is the parsed statement.
+	Assign *ir.Assignment
+	// Src is the source statement (formats, schedule ride along).
+	Src Statement
+	// Deps lists the source indices of the statements whose outputs this
+	// statement reads, ascending.
+	Deps []int
+}
+
+// Program is a parsed multi-statement program: statements in topological
+// order with every tensor's shape resolved.
+type Program struct {
+	// Stages holds the statements in a stable topological order: a stage
+	// appears after every stage it depends on, ties broken by source
+	// position.
+	Stages []*Stage
+	// Shapes maps every tensor of the program to its shape — leaf inputs
+	// as declared, assigned tensors as inferred from their producer.
+	Shapes map[string][]int
+
+	inputs   []string       // leaf inputs, first-use order over the source list
+	producer map[string]int // assigned tensor -> source index of its producer
+	output   string         // the last source statement's LHS
+}
+
+// Parse parses and validates a statement list against the declared leaf
+// input shapes. Shape inference runs in dependency order, so an
+// intermediate's shape is available to every consumer; the returned
+// program's Shapes covers leaf inputs and assigned tensors alike.
+func Parse(stmts []Statement, shapes map[string][]int) (*Program, error) {
+	if len(stmts) == 0 {
+		return nil, fmt.Errorf("program: empty statement list")
+	}
+	parsed := make([]*ir.Assignment, len(stmts))
+	producer := map[string]int{}
+	for i, st := range stmts {
+		a, err := ir.Parse(st.Stmt)
+		if err != nil {
+			return nil, fmt.Errorf("program: statement %d: %w", i, err)
+		}
+		parsed[i] = a
+		lhs := a.LHS.Tensor
+		if len(a.LHS.Indices) == 0 {
+			return nil, fmt.Errorf("program: statement %d assigns scalar %s; scalar outputs are not supported in multi-statement programs", i, lhs)
+		}
+		if prev, dup := producer[lhs]; dup {
+			return nil, fmt.Errorf("program: tensor %s is assigned by statements %d and %d; every tensor may be assigned once", lhs, prev, i)
+		}
+		producer[lhs] = i
+	}
+	// A declared shape may only describe a leaf input: assigned tensors'
+	// shapes are inferred from their producer, so a declaration for one is
+	// either redundant or contradictory — and a leaf input colliding with
+	// an intermediate's name is exactly that case seen from the other side.
+	named := map[string]bool{}
+	for _, a := range parsed {
+		for _, name := range a.TensorNames() {
+			named[name] = true
+		}
+	}
+	for name := range shapes {
+		if idx, assigned := producer[name]; assigned {
+			return nil, fmt.Errorf("program: Shapes declares %s, which statement %d computes; intermediate shapes are inferred from their producer", name, idx)
+		}
+		if !named[name] {
+			return nil, fmt.Errorf("program: Shapes declares %s, which no statement mentions", name)
+		}
+	}
+	// Per-statement format annotations may only name that statement's
+	// tensors (same contract as single-statement requests).
+	for i, st := range stmts {
+		stmtNames := map[string]bool{}
+		for _, name := range parsed[i].TensorNames() {
+			stmtNames[name] = true
+		}
+		for name := range st.Formats {
+			if !stmtNames[name] {
+				return nil, fmt.Errorf("program: statement %d Formats names %s, which is not a tensor of %q", i, name, st.Stmt)
+			}
+		}
+	}
+	// Dependency edges: statement i depends on statement j when i reads a
+	// tensor j assigns. Reading your own output in the same statement has
+	// no producer to run first and is rejected (ir's += reads the prior
+	// contents of a *leaf* LHS, which stays legal).
+	deps := make([][]int, len(stmts))
+	for i, a := range parsed {
+		seen := map[int]bool{}
+		for _, acc := range a.RHS.Accesses(nil) {
+			j, assigned := producer[acc.Tensor]
+			if !assigned {
+				continue
+			}
+			if j == i {
+				return nil, fmt.Errorf("program: statement %d reads its own output %s", i, acc.Tensor)
+			}
+			if !seen[j] {
+				seen[j] = true
+				deps[i] = append(deps[i], j)
+			}
+		}
+		insertionSort(deps[i])
+	}
+	// Stable Kahn topological sort: among ready statements the smallest
+	// source index runs first, so equivalent programs order independent
+	// stages deterministically.
+	indeg := make([]int, len(stmts))
+	for i := range deps {
+		indeg[i] = len(deps[i])
+	}
+	dependents := make([][]int, len(stmts))
+	for i, ds := range deps {
+		for _, j := range ds {
+			dependents[j] = append(dependents[j], i)
+		}
+	}
+	var ready []int
+	for i, d := range indeg {
+		if d == 0 {
+			ready = append(ready, i)
+		}
+	}
+	var order []int
+	for len(ready) > 0 {
+		best := 0
+		for k := 1; k < len(ready); k++ {
+			if ready[k] < ready[best] {
+				best = k
+			}
+		}
+		i := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+		order = append(order, i)
+		for _, j := range dependents[i] {
+			if indeg[j]--; indeg[j] == 0 {
+				ready = append(ready, j)
+			}
+		}
+	}
+	if len(order) != len(stmts) {
+		return nil, fmt.Errorf("program: statements form a dependency cycle")
+	}
+
+	// Shape inference in dependency order: every RHS tensor is either a
+	// declared leaf or an already-inferred intermediate; the LHS shape
+	// follows from the RHS extents exactly as ir.Evaluate infers it.
+	known := make(map[string][]int, len(shapes))
+	for name, shape := range shapes {
+		known[name] = shape
+	}
+	p := &Program{
+		Shapes:   known,
+		producer: producer,
+		output:   parsed[len(parsed)-1].LHS.Tensor,
+	}
+	for _, i := range order {
+		a := parsed[i]
+		outShape, err := inferLHS(a, known)
+		if err != nil {
+			return nil, fmt.Errorf("program: statement %d: %w", i, err)
+		}
+		known[a.LHS.Tensor] = outShape
+		if err := a.Validate(known); err != nil {
+			return nil, fmt.Errorf("program: statement %d: %w", i, err)
+		}
+		p.Stages = append(p.Stages, &Stage{Index: i, Assign: a, Src: stmts[i], Deps: deps[i]})
+	}
+	// Leaf inputs in first-use order over the *source* list: the order is a
+	// wire contract (frames ride in it), so it must not depend on the
+	// topological tie-breaking.
+	seen := map[string]bool{}
+	for _, a := range parsed {
+		for _, name := range a.TensorNames() {
+			if _, assigned := producer[name]; assigned || seen[name] {
+				continue
+			}
+			seen[name] = true
+			p.inputs = append(p.inputs, name)
+		}
+	}
+	return p, nil
+}
+
+// inferLHS computes the LHS shape of a statement from the (known) shapes of
+// its RHS tensors, mirroring ir.Evaluate's extent inference.
+func inferLHS(a *ir.Assignment, shapes map[string][]int) ([]int, error) {
+	extents := map[string]int{}
+	for _, acc := range a.RHS.Accesses(nil) {
+		shape, ok := shapes[acc.Tensor]
+		if !ok {
+			return nil, fmt.Errorf("no shape for tensor %s (declare leaf-input shapes in Shapes)", acc.Tensor)
+		}
+		if len(shape) != len(acc.Indices) {
+			if len(acc.Indices) == 0 && len(shape) == 1 && shape[0] == 1 {
+				continue // scalar access over a rank-1 unit tensor
+			}
+			return nil, fmt.Errorf("access %s has %d indices but tensor has rank %d", acc, len(acc.Indices), len(shape))
+		}
+		for d, v := range acc.Indices {
+			if prev, ok := extents[v.Name]; ok && prev != shape[d] {
+				return nil, fmt.Errorf("variable %s indexes extents %d and %d", v.Name, prev, shape[d])
+			}
+			extents[v.Name] = shape[d]
+		}
+	}
+	outShape := make([]int, len(a.LHS.Indices))
+	for d, v := range a.LHS.Indices {
+		ext, ok := extents[v.Name]
+		if !ok {
+			return nil, fmt.Errorf("LHS variable %s not bound by any RHS access", v.Name)
+		}
+		outShape[d] = ext
+	}
+	return outShape, nil
+}
+
+// Inputs returns the program's leaf inputs — tensors no statement assigns —
+// in first-use order over the source statement list. This is the canonical
+// wire frame order of a multi-statement run. The caller must not mutate the
+// returned slice.
+func (p *Program) Inputs() []string { return p.inputs }
+
+// Output returns the last source statement's LHS: the tensor a run of the
+// program answers with.
+func (p *Program) Output() string { return p.output }
+
+// Producer returns the source index of the statement assigning name, and
+// whether name is assigned at all (leaf inputs are not).
+func (p *Program) Producer(name string) (int, bool) {
+	i, ok := p.producer[name]
+	return i, ok
+}
+
+// Evaluate runs the program sequentially with the reference interpreter,
+// feeding each statement's output to its consumers, and returns every
+// assigned tensor by name. It is the semantics a distributed plan-DAG
+// execution is validated against.
+func Evaluate(p *Program, inputs map[string]*tensor.Dense) (map[string]*tensor.Dense, error) {
+	vals := make(map[string]*tensor.Dense, len(inputs)+len(p.Stages))
+	for _, name := range p.inputs {
+		t, ok := inputs[name]
+		if !ok {
+			return nil, fmt.Errorf("program: evaluate: missing input tensor %s", name)
+		}
+		vals[name] = t
+	}
+	outs := make(map[string]*tensor.Dense, len(p.Stages))
+	for _, st := range p.Stages {
+		out, err := ir.Evaluate(st.Assign, vals)
+		if err != nil {
+			return nil, fmt.Errorf("program: evaluate: statement %d: %w", st.Index, err)
+		}
+		vals[st.Assign.LHS.Tensor] = out
+		outs[st.Assign.LHS.Tensor] = out
+	}
+	return outs, nil
+}
+
+func insertionSort(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package program
+
+import (
+	"strings"
+	"testing"
+
+	"distal/internal/tensor"
+)
+
+func stmts(src ...string) []Statement {
+	out := make([]Statement, len(src))
+	for i, s := range src {
+		out[i] = Statement{Stmt: s}
+	}
+	return out
+}
+
+func TestParseValidation(t *testing.T) {
+	nn := []int{8, 8}
+	cases := []struct {
+		name   string
+		stmts  []Statement
+		shapes map[string][]int
+		want   string // substring of the expected error; "" means success
+	}{
+		{
+			name:   "chain ok",
+			stmts:  stmts("D(i,j) = A(i,k) * B(k,j)", "E(i,j) = D(i,k) * C(k,j)"),
+			shapes: map[string][]int{"A": nn, "B": nn, "C": nn},
+		},
+		{
+			name:  "empty program",
+			stmts: nil,
+			want:  "empty statement list",
+		},
+		{
+			name:   "duplicate assignment",
+			stmts:  stmts("D(i,j) = A(i,k) * B(k,j)", "D(i,j) = A(i,k) * B(k,j)"),
+			shapes: map[string][]int{"A": nn, "B": nn},
+			want:   "assigned by statements 0 and 1",
+		},
+		{
+			name:   "intermediate declared in shapes",
+			stmts:  stmts("D(i,j) = A(i,k) * B(k,j)", "E(i,j) = D(i,k) * C(k,j)"),
+			shapes: map[string][]int{"A": nn, "B": nn, "C": nn, "D": nn},
+			want:   "Shapes declares D, which statement 0 computes",
+		},
+		{
+			name:   "unknown shapes key",
+			stmts:  stmts("D(i,j) = A(i,k) * B(k,j)"),
+			shapes: map[string][]int{"A": nn, "B": nn, "X": nn},
+			want:   "Shapes declares X, which no statement mentions",
+		},
+		{
+			name:   "missing leaf shape",
+			stmts:  stmts("D(i,j) = A(i,k) * B(k,j)"),
+			shapes: map[string][]int{"A": nn},
+			want:   "no shape for tensor B",
+		},
+		{
+			name:   "dependency cycle",
+			stmts:  stmts("D(i,j) = E(i,k) * A(k,j)", "E(i,j) = D(i,k) * A(k,j)"),
+			shapes: map[string][]int{"A": nn},
+			want:   "dependency cycle",
+		},
+		{
+			name:   "self read",
+			stmts:  stmts("D(i,j) = D(i,k) * A(k,j)"),
+			shapes: map[string][]int{"A": nn},
+			want:   "reads its own output D",
+		},
+		{
+			name: "formats name foreign tensor",
+			stmts: []Statement{
+				{Stmt: "D(i,j) = A(i,k) * B(k,j)", Formats: map[string]string{"C": "xy->xy"}},
+				{Stmt: "E(i,j) = D(i,k) * C(k,j)"},
+			},
+			shapes: map[string][]int{"A": nn, "B": nn, "C": nn},
+			want:   "statement 0 Formats names C",
+		},
+		{
+			name:   "shape conflict across statements",
+			stmts:  stmts("D(i,j) = A(i,k) * B(k,j)", "E(i,j) = D(i,k) * C(k,j)"),
+			shapes: map[string][]int{"A": {8, 4}, "B": {4, 8}, "C": {4, 8}},
+			want:   "indexes extents",
+		},
+		{
+			name:   "scalar output",
+			stmts:  stmts("s = A(i,j) * B(i,j)"),
+			shapes: map[string][]int{"A": nn, "B": nn},
+			want:   "scalar outputs are not supported",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.stmts, tc.shapes)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("Parse: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Parse succeeded, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Parse error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseShapeInferenceAndOrder(t *testing.T) {
+	// Consumer written before its producer: the stage order must fix it up
+	// while Inputs stays in source first-use order.
+	p, err := Parse(stmts(
+		"E(i,l) = D(i,j) * C(j,l)",
+		"D(i,j) = A(i,k) * B(k,j)",
+	), map[string][]int{"A": {4, 6}, "B": {6, 8}, "C": {8, 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Stages[0].Index; got != 1 {
+		t.Fatalf("first stage is statement %d, want 1 (the producer)", got)
+	}
+	wantShapes := map[string][]int{"D": {4, 8}, "E": {4, 10}}
+	for name, want := range wantShapes {
+		got := p.Shapes[name]
+		if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+			t.Fatalf("inferred shape of %s = %v, want %v", name, got, want)
+		}
+	}
+	if got := strings.Join(p.Inputs(), ","); got != "C,A,B" {
+		t.Fatalf("Inputs = %s, want C,A,B (source first-use order)", got)
+	}
+	if p.Output() != "D" {
+		t.Fatalf("Output = %s, want D (the last source statement's LHS)", p.Output())
+	}
+	if i, ok := p.Producer("E"); !ok || i != 0 {
+		t.Fatalf("Producer(E) = %d,%v want 0,true", i, ok)
+	}
+	if _, ok := p.Producer("A"); ok {
+		t.Fatal("Producer(A) reports leaf input A as assigned")
+	}
+}
+
+func TestEvaluateChain(t *testing.T) {
+	const n = 6
+	shapes := map[string][]int{"A": {n, n}, "B": {n, n}, "C": {n, n}}
+	p, err := Parse(stmts("D(i,j) = A(i,k) * B(k,j)", "E(i,j) = D(i,k) * C(k,j)"), shapes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := map[string]*tensor.Dense{}
+	for i, name := range []string{"A", "B", "C"} {
+		d := tensor.New(name, n, n)
+		d.FillRandom(int64(i + 1))
+		in[name] = d
+	}
+	outs, err := Evaluate(p, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E must equal (A·B)·C computed by hand.
+	want := tensor.New("E", n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sum := 0.0
+			for k := 0; k < n; k++ {
+				d := 0.0
+				for m := 0; m < n; m++ {
+					d += in["A"].At(i, m) * in["B"].At(m, k)
+				}
+				sum += d * in["C"].At(k, j)
+			}
+			want.Set(sum, i, j)
+		}
+	}
+	if !outs["E"].EqualWithin(want, 1e-9) {
+		t.Fatalf("chain evaluation diverges from reference: max abs diff %g", outs["E"].MaxAbsDiff(want))
+	}
+	if outs["D"] == nil {
+		t.Fatal("Evaluate did not return intermediate D")
+	}
+}

@@ -117,23 +117,102 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.release()
 
-	plan, err := s.sess.Compile(ctx, distal.Request{
-		Stmt: q.Stmt, Shapes: q.Shapes, Formats: q.Formats, Schedule: q.Schedule,
-	})
-	if err != nil {
-		s.writeError(w, err)
-		return
-	}
-	names := plan.Tensors()
-	known := map[string]bool{}
-	for _, name := range names {
-		known[name] = true
-	}
-	for name := range q.Inputs {
-		if !known[name] {
-			s.writeError(w, &distal.Error{Kind: distal.KindParse, Op: "run",
-				Err: fmt.Errorf("inputs names %s, which is not a tensor of %q", name, q.Stmt)})
+	// Compile: the single-statement path resolves one plan, the
+	// multi-statement path a plan DAG. Both yield the same execution
+	// surface — the names to materialize per instance (frame order) and a
+	// batch runner — so the frame decode and response streaming below are
+	// shared.
+	var (
+		names    []string
+		planKey  string
+		cached   bool
+		output   string
+		compile  time.Duration
+		runBatch func(surviving [][]*distal.Tensor) ([]*tensor.Dense, *distal.Result, error)
+	)
+	if len(q.Stmts) > 0 {
+		stmts := make([]distal.Statement, len(q.Stmts))
+		for i, st := range q.Stmts {
+			stmts[i] = distal.Statement{Stmt: st.Stmt, Formats: st.Formats, Schedule: st.Schedule}
+		}
+		pp, err := s.sess.CompileProgram(ctx, distal.Request{
+			Stmt: q.Stmt, Shapes: q.Shapes, Formats: q.Formats, Schedule: q.Schedule, Stmts: stmts,
+		})
+		if err != nil {
+			s.writeError(w, err)
 			return
+		}
+		// Only leaf inputs may carry directives: intermediates and the
+		// output are allocated server-side by the program binding.
+		names = pp.Inputs()
+		leaf := map[string]bool{}
+		for _, name := range names {
+			leaf[name] = true
+		}
+		for name := range q.Inputs {
+			if !leaf[name] {
+				s.writeError(w, &distal.Error{Kind: distal.KindParse, Op: "run",
+					Err: fmt.Errorf("inputs names %s, which is not a leaf input of the program (computed tensors are server-allocated)", name)})
+				return
+			}
+		}
+		st := pp.Stats()
+		planKey, cached, output, compile = pp.Key(), st.Cached, pp.Output(), st.CompileTime
+		runBatch = func(surviving [][]*distal.Tensor) ([]*tensor.Dense, *distal.Result, error) {
+			bb := pp.BindBatch(surviving...)
+			results, err := bb.Run(ctx)
+			if err != nil {
+				return nil, nil, err
+			}
+			outs := make([]*tensor.Dense, bb.Len())
+			for i := range outs {
+				out := bb.Output(i)
+				if out == nil {
+					return nil, nil, &distal.Error{Kind: distal.KindExec, Op: "run",
+						Err: fmt.Errorf("program lost its output tensor %s", pp.Output())}
+				}
+				outs[i] = out.Data
+			}
+			return outs, results[0], nil
+		}
+	} else {
+		plan, err := s.sess.Compile(ctx, distal.Request{
+			Stmt: q.Stmt, Shapes: q.Shapes, Formats: q.Formats, Schedule: q.Schedule,
+		})
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		names = plan.Tensors()
+		known := map[string]bool{}
+		for _, name := range names {
+			known[name] = true
+		}
+		for name := range q.Inputs {
+			if !known[name] {
+				s.writeError(w, &distal.Error{Kind: distal.KindParse, Op: "run",
+					Err: fmt.Errorf("inputs names %s, which is not a tensor of %q", name, q.Stmt)})
+				return
+			}
+		}
+		st := plan.Stats()
+		planKey, cached, output, compile = plan.Key(), st.Cached, plan.Output(), st.CompileTime
+		runBatch = func(surviving [][]*distal.Tensor) ([]*tensor.Dense, *distal.Result, error) {
+			bb := plan.BindBatch(surviving...)
+			results, err := bb.Run(ctx)
+			if err != nil {
+				return nil, nil, err
+			}
+			outs := make([]*tensor.Dense, bb.Len())
+			for i := range outs {
+				out := bb.Output(i)
+				if out == nil {
+					return nil, nil, &distal.Error{Kind: distal.KindExec, Op: "run",
+						Err: fmt.Errorf("plan lost its output tensor %s", plan.Output())}
+				}
+				outs[i] = out.Data
+			}
+			return outs, results[0], nil
 		}
 	}
 
@@ -157,6 +236,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 				for _, s := range shape {
 					elems *= s
 				}
+				var err error
 				data, err = wire.DecodeLimit(body, elems)
 				if err != nil {
 					at := fmt.Sprintf("decoding frame for %s", name)
@@ -212,36 +292,23 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, instErrs[0])
 		return
 	}
-	bb := plan.BindBatch(surviving...)
-	results, err := bb.Run(ctx)
+	outs, res, err := runBatch(surviving)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	res := results[0]
-	outs := make([]*tensor.Dense, 0, len(surviving))
-	for i := 0; i < bb.Len(); i++ {
-		out := bb.Output(i)
-		if out == nil {
-			s.writeError(w, &distal.Error{Kind: distal.KindExec, Op: "run",
-				Err: fmt.Errorf("plan lost its output tensor %s", plan.Output())})
-			return
-		}
-		outs = append(outs, out.Data)
-	}
 
-	st := plan.Stats()
 	stats := wire.RunStats{
-		PlanKey:      plan.Key(),
-		Cached:       st.Cached,
-		Output:       plan.Output(),
+		PlanKey:      planKey,
+		Cached:       cached,
+		Output:       output,
 		TimeS:        res.Time,
 		GFlops:       res.GFlopsPerSec(),
 		Copies:       res.Copies,
 		IntraBytes:   res.IntraBytes,
 		InterBytes:   res.InterBytes,
 		PeakMemBytes: res.PeakMemBytes,
-		CompileMS:    float64(st.CompileTime) / float64(time.Millisecond),
+		CompileMS:    float64(compile) / float64(time.Millisecond),
 	}
 	stats.SetHeaders(w.Header())
 	if batched {

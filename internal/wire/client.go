@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"distal/internal/ir"
+	"distal/internal/program"
 	"distal/internal/tensor"
 )
 
@@ -44,7 +45,7 @@ func (c *Client) Run(ctx context.Context, req RunRequest, data map[string]*tenso
 	if req.Batch != nil {
 		return nil, nil, fmt.Errorf("wire: request declares batch %d: use RunBatch", *req.Batch)
 	}
-	order, err := wireOrder(req)
+	order, shapes, err := wireOrder(req)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -101,7 +102,7 @@ func (c *Client) Run(ctx context.Context, req RunRequest, data map[string]*tenso
 	}
 	stats := StatsFromHeaders(resp.Header)
 	limit := DefaultMaxElements
-	if shape, ok := req.Shapes[stats.Output]; ok {
+	if shape, ok := shapes[stats.Output]; ok {
 		limit = 1
 		for _, s := range shape {
 			limit *= s
@@ -162,7 +163,7 @@ func (c *Client) RunBatch(ctx context.Context, req RunRequest, batch []map[strin
 		return nil, fmt.Errorf("wire: batched run needs at least one instance")
 	}
 	req.Batch = &n
-	order, err := wireOrder(req)
+	order, shapes, err := wireOrder(req)
 	if err != nil {
 		return nil, err
 	}
@@ -244,7 +245,7 @@ func (c *Client) RunBatch(ctx context.Context, req RunRequest, batch []map[strin
 		}
 	}
 	limit := DefaultMaxElements
-	if shape, ok := req.Shapes[out.Stats.Output]; ok {
+	if shape, ok := shapes[out.Stats.Output]; ok {
 		limit = 1
 		for _, s := range shape {
 			limit *= s
@@ -268,12 +269,18 @@ func (c *Client) RunBatch(ctx context.Context, req RunRequest, batch []map[strin
 	return out, nil
 }
 
-// wireOrder returns the statement-order names of req's wire-marked inputs —
-// the exact frame order of the body — after validating every directive.
-func wireOrder(req RunRequest) ([]string, error) {
+// wireOrder returns the names of req's wire-marked inputs in frame order —
+// statement order for single-statement runs, the program's leaf first-use
+// order for multi-statement runs — after validating every directive. The
+// returned shapes cover every tensor a response could stream (multi-
+// statement outputs are inferred, not declared), for bounding the decode.
+func wireOrder(req RunRequest) ([]string, map[string][]int, error) {
+	if len(req.Stmts) > 0 {
+		return programOrder(req)
+	}
 	stmt, err := ir.Parse(req.Stmt)
 	if err != nil {
-		return nil, fmt.Errorf("wire: %w", err)
+		return nil, nil, fmt.Errorf("wire: %w", err)
 	}
 	named := map[string]bool{}
 	for _, name := range stmt.TensorNames() {
@@ -281,10 +288,10 @@ func wireOrder(req RunRequest) ([]string, error) {
 	}
 	for name, fill := range req.Inputs {
 		if !named[name] {
-			return nil, fmt.Errorf("wire: inputs names %s, which is not a tensor of %q", name, req.Stmt)
+			return nil, nil, fmt.Errorf("wire: inputs names %s, which is not a tensor of %q", name, req.Stmt)
 		}
 		if !ValidFill(fill) {
-			return nil, fmt.Errorf("wire: tensor %s: bad inputs directive %q", name, fill)
+			return nil, nil, fmt.Errorf("wire: tensor %s: bad inputs directive %q", name, fill)
 		}
 	}
 	var order []string
@@ -293,7 +300,44 @@ func wireOrder(req RunRequest) ([]string, error) {
 			order = append(order, name)
 		}
 	}
-	return order, nil
+	return order, req.Shapes, nil
+}
+
+// programOrder is wireOrder for a multi-statement run: it parses the
+// program exactly as the server will, so both ends agree on which tensors
+// ride as frames and in what order. Only leaf inputs may carry Inputs
+// directives — intermediates and outputs are always server-allocated.
+func programOrder(req RunRequest) ([]string, map[string][]int, error) {
+	if req.Stmt != "" {
+		return nil, nil, fmt.Errorf("wire: request sets both stmt and stmts; a multi-statement run puts every statement in stmts")
+	}
+	specs := make([]program.Statement, len(req.Stmts))
+	for i, st := range req.Stmts {
+		specs[i] = program.Statement{Stmt: st.Stmt, Formats: st.Formats, Schedule: st.Schedule}
+	}
+	p, err := program.Parse(specs, req.Shapes)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wire: %w", err)
+	}
+	leaf := map[string]bool{}
+	for _, name := range p.Inputs() {
+		leaf[name] = true
+	}
+	for name, fill := range req.Inputs {
+		if !leaf[name] {
+			return nil, nil, fmt.Errorf("wire: inputs names %s, which is not a leaf input of the program (computed tensors are server-allocated)", name)
+		}
+		if !ValidFill(fill) {
+			return nil, nil, fmt.Errorf("wire: tensor %s: bad inputs directive %q", name, fill)
+		}
+	}
+	var order []string
+	for _, name := range p.Inputs() {
+		if req.Inputs[name] == FillWire {
+			order = append(order, name)
+		}
+	}
+	return order, p.Shapes, nil
 }
 
 func decodeError(resp *http.Response) error {

@@ -80,6 +80,14 @@ type RunRequest struct {
 	Shapes   map[string][]int  `json:"shapes"`
 	Formats  map[string]string `json:"formats,omitempty"`
 	Schedule string            `json:"schedule,omitempty"`
+	// Stmts is the multi-statement form: a program whose statements feed
+	// intermediates to one another, executed as a plan DAG with the
+	// intermediates kept distributed between stages. Mutually exclusive
+	// with Stmt/Formats/Schedule; Shapes declares leaf inputs only, and
+	// only leaf inputs may carry Inputs directives — wire frames ride in
+	// the program's leaf first-use order (program.Program Inputs), and the
+	// response streams the last statement's output.
+	Stmts []StmtSpec `json:"stmts,omitempty"`
 	// Inputs maps tensor name -> "wire" | "zero" | "ones" | "rand:<seed>".
 	// "wire" tensors ride as frames after the JSON section, in statement
 	// order; fills are materialized server-side so a client can exercise a
@@ -98,6 +106,15 @@ type RunRequest struct {
 	Batch *int `json:"batch,omitempty"`
 	// TimeoutMS overrides the server's default per-request deadline.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// StmtSpec is one statement of a multi-statement run: the index notation
+// text plus that statement's own format annotations and schedule (empty
+// schedule means the server auto-schedules the stage).
+type StmtSpec struct {
+	Stmt     string            `json:"stmt"`
+	Formats  map[string]string `json:"formats,omitempty"`
+	Schedule string            `json:"schedule,omitempty"`
 }
 
 // ApplyFill materializes a fill directive into t: "zero", "ones", or

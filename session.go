@@ -283,6 +283,29 @@ type Request struct {
 	// e.g. "divide(i,io,ii,4) reorder(io,ii,j,k) distribute(io) communicate(io,A,B)".
 	// Empty means AutoSchedule.
 	Schedule string
+	// Stmts is the multi-statement form of a request: a list of statements
+	// whose left-hand sides name intermediates later statements consume,
+	// each with its own format annotations and schedule. Shapes then
+	// declares the leaf inputs only (intermediate shapes are inferred from
+	// their producers), and Stmt/Formats/Schedule must be empty. Requests
+	// with Stmts compile through Session.CompileProgram into a ProgramPlan;
+	// Compile rejects them.
+	Stmts []Statement
+}
+
+// Statement is one statement of a multi-statement Request. Formats may only
+// name tensors of this statement; tensors without an entry default to the
+// canonical tiling of their rank. An empty Schedule auto-schedules the
+// stage.
+type Statement struct {
+	// Stmt is the tensor index notation statement,
+	// e.g. "D(i,j) = A(i,k) * B(k,j)".
+	Stmt string
+	// Formats gives tensor distribution notation per tensor of this
+	// statement, e.g. "xy->xy".
+	Formats map[string]string
+	// Schedule is scheduling-command text for this statement.
+	Schedule string
 }
 
 // buildComputation turns a request into a schedulable computation,
@@ -401,6 +424,10 @@ func canonicalRequest(req Request) string {
 func (s *Session) Compile(ctx context.Context, req Request) (*Plan, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, wrapErr(KindCanceled, "compile", err)
+	}
+	if len(req.Stmts) > 0 {
+		return nil, wrapErr(KindParse, "compile",
+			fmt.Errorf("request carries %d statements; multi-statement programs compile through Session.CompileProgram", len(req.Stmts)))
 	}
 	ck := canonicalRequest(req)
 	for {
