@@ -38,13 +38,21 @@
 // intermediates are allocated server-side and never cross the wire. The
 // response streams the last statement's output, and -verify evaluates the
 // whole chain locally.
+//
+// -v prints the remaining Distal-* header metrics — bytes moved, peak
+// memory, the request id — plus one row per execution stage on
+// multi-statement runs. -trace-out FILE fetches the run's span tree from
+// the server's GET /v1/trace/{id} and writes Chrome trace_event JSON
+// (open in chrome://tracing or Perfetto).
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -77,6 +85,8 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "request deadline")
 	verify := flag.Bool("verify", false, "re-evaluate locally with the reference interpreter and compare")
 	batch := flag.Int("batch", 0, "execute N problem instances through one cached plan in a single walk (0 = single-instance)")
+	verbose := flag.Bool("v", false, "print the full Distal-* header metrics (bytes moved, peak memory, request id, per-stage rows)")
+	traceOut := flag.String("trace-out", "", "fetch the run's span tree from GET /v1/trace/{id} and write the Chrome trace_event JSON to this file")
 	flag.Parse()
 
 	if len(stmts) == 0 {
@@ -148,7 +158,7 @@ func main() {
 	defer cancel()
 	client := &wire.Client{BaseURL: strings.TrimRight(*addr, "/")}
 	if *batch > 0 {
-		runBatch(ctx, client, req, data, *batch, *out, *verify)
+		runBatch(ctx, client, req, data, *batch, *out, *verify, *verbose, *traceOut)
 		return
 	}
 	result, stats, err := client.Run(ctx, req, data)
@@ -159,6 +169,14 @@ func main() {
 	fmt.Printf("output=%s shape=%v sum=%.9g\n", stats.Output, result.Shape(), result.Sum())
 	fmt.Printf("plan=%s cached=%t time=%.6fs gflops=%.1f copies=%d compile=%.1fms\n",
 		stats.PlanKey, stats.Cached, stats.TimeS, stats.GFlops, stats.Copies, stats.CompileMS)
+	if *verbose {
+		printVerbose(stats)
+	}
+	if *traceOut != "" {
+		if err := fetchTrace(ctx, client, stats.RequestID, *traceOut); err != nil {
+			log.Fatalf("distal-run: %v", err)
+		}
+	}
 
 	if *out != "" {
 		if err := wire.WriteFile(*out, result); err != nil {
@@ -180,7 +198,7 @@ func main() {
 // every instance; rand fills diverge per instance (seed+i on both ends, so
 // -verify can reconstruct each instance exactly). Exits nonzero when any
 // instance fails or any verification disagrees.
-func runBatch(ctx context.Context, client *wire.Client, req wire.RunRequest, data map[string]*tensor.Dense, n int, out string, verify bool) {
+func runBatch(ctx context.Context, client *wire.Client, req wire.RunRequest, data map[string]*tensor.Dense, n int, out string, verify, verbose bool, traceOut string) {
 	req.Batch = &n
 	var insts []map[string]*tensor.Dense
 	if len(data) > 0 {
@@ -196,6 +214,14 @@ func runBatch(ctx context.Context, client *wire.Client, req wire.RunRequest, dat
 	stats := outcome.Stats
 	fmt.Printf("plan=%s cached=%t batch=%d time=%.6fs gflops=%.1f copies=%d compile=%.1fms\n",
 		stats.PlanKey, stats.Cached, n, stats.TimeS, stats.GFlops, stats.Copies, stats.CompileMS)
+	if verbose {
+		printVerbose(&stats)
+	}
+	if traceOut != "" {
+		if err := fetchTrace(ctx, client, stats.RequestID, traceOut); err != nil {
+			log.Fatalf("distal-run: %v", err)
+		}
+	}
 	failed := false
 	for i := 0; i < n; i++ {
 		if err := outcome.Errs[i]; err != nil {
@@ -243,6 +269,63 @@ func runBatch(ctx context.Context, client *wire.Client, req wire.RunRequest, dat
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// printVerbose prints the rest of the Distal-* header metrics: the data-
+// movement and memory numbers, the request id (the key of the server's
+// GET /v1/trace/{id} export), and — on multi-statement runs — one row per
+// execution stage from the Distal-Stages header.
+func printVerbose(stats *wire.RunStats) {
+	fmt.Printf("request=%s intra_bytes=%d inter_bytes=%d peak_mem_bytes=%d\n",
+		stats.RequestID, stats.IntraBytes, stats.InterBytes, stats.PeakMemBytes)
+	for i, st := range stats.Stages {
+		kind := "stage"
+		if st.Repart {
+			kind = "repart"
+		}
+		fmt.Printf("%s %d: output=%s plan=%s cached=%t launches=%d points=%d\n",
+			kind, i, st.Output, st.PlanKey, st.Cached, st.Launches, st.Points)
+	}
+}
+
+// fetchTrace downloads the run's span tree — the server keeps a bounded ring
+// of recent traces keyed by request id — and writes the Chrome trace_event
+// JSON to path (open it in chrome://tracing or Perfetto).
+func fetchTrace(ctx context.Context, client *wire.Client, id, path string) error {
+	if id == "" {
+		return fmt.Errorf("-trace-out: the response carried no %s header (is the server older than the trace export?)", wire.HeaderRequestID)
+	}
+	url := client.BaseURL + "/v1/trace/" + id
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	hc := client.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("-trace-out: GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	n, err := io.Copy(f, resp.Body)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d bytes of trace_event JSON)\n", path, n)
+	return nil
 }
 
 // verifyResult reconstructs every input locally (streamed tensors are

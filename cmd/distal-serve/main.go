@@ -16,10 +16,16 @@
 //	                  binary wire frames (or server-side fills); the output
 //	                  tensor streams back (see internal/wire, cmd/distal-run)
 //	GET  /v1/stats    cache and server counters
+//	GET  /metrics     the same counters in Prometheus text format
+//	GET  /v1/trace/{id}  one recent request's spans as Chrome trace_event JSON
 //
 // Request bodies are capped: -max-body for the JSON endpoints, -max-run-body
 // for /v1/run (which carries tensor payloads), and -max-batch for the
 // instance count a batched /v1/run may declare.
+//
+// Observability switches: -log-format json emits one JSON access-log line
+// per request to stderr, -trace-ring sizes the GET /v1/trace/{id} ring, and
+// -debug-addr serves net/http/pprof on a second, private listener.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -52,7 +59,13 @@ func main() {
 	maxBody := flag.Int64("max-body", 4<<20, "largest accepted body on the JSON endpoints, in bytes")
 	maxRunBody := flag.Int64("max-run-body", 256<<20, "largest accepted /v1/run body (JSON section plus tensor frames), in bytes")
 	maxBatch := flag.Int("max-batch", 64, "largest accepted /v1/run batch instance count")
+	logFormat := flag.String("log-format", "", "access log format: \"json\" emits one JSON line per request to stderr (default: no access log)")
+	traceRing := flag.Int("trace-ring", 64, "recent request traces kept for GET /v1/trace/{id}")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this second listener, e.g. localhost:6060 (default: off)")
 	flag.Parse()
+	if *logFormat != "" && *logFormat != "json" {
+		log.Fatalf("distal-serve: unknown -log-format %q (\"json\" or empty)", *logFormat)
+	}
 
 	dims, err := parseGrid(*grid)
 	if err != nil {
@@ -76,7 +89,20 @@ func main() {
 	srv := serve.New(sess, serve.Config{
 		Workers: *workers, Timeout: *timeout,
 		MaxBody: *maxBody, MaxRunBody: *maxRunBody, MaxRunBatch: *maxBatch,
+		TraceRing: *traceRing, LogJSON: *logFormat == "json",
 	})
+
+	if *debugAddr != "" {
+		// The pprof handlers live on http.DefaultServeMux (registered by the
+		// blank net/http/pprof import) and only ever bind when asked: keep
+		// the profiling surface off the service port.
+		go func() {
+			log.Printf("distal-serve: pprof on http://%s/debug/pprof/", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("distal-serve: debug listener: %v", err)
+			}
+		}()
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 	done := make(chan struct{})

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -10,6 +11,7 @@ import (
 	"distal/internal/algorithms"
 	"distal/internal/core"
 	"distal/internal/legion"
+	"distal/internal/obs"
 	"distal/internal/sim"
 )
 
@@ -85,6 +87,22 @@ func Hotpath(runs int) ([]HotpathRow, error) {
 			return err
 		}
 	}
+	// executeTraced is the same work under a live obs trace — every span the
+	// serve layer would record (run-stage, launch, real-drain) actually
+	// allocates and timestamps. The gap to the untraced row is the
+	// instrumentation overhead the obs-overhead gate bounds.
+	executeTraced := func(in core.Input, opt legion.Options) func() error {
+		return func() error {
+			tr, ctx := obs.NewTrace(context.Background(), obs.NewRequestID(), "bench")
+			prog, err := core.CompileContext(ctx, in)
+			if err != nil {
+				return err
+			}
+			_, err = legion.RunContext(ctx, prog, opt)
+			tr.Finish()
+			return err
+		}
+	}
 
 	realCompiled, err := realIn(false)
 	if err != nil {
@@ -127,7 +145,79 @@ func Hotpath(runs int) ([]HotpathRow, error) {
 		}
 		rows = append(rows, HotpathRow{Name: c.name, MS: ms, Runs: runs})
 	}
+	realOpt := legion.Options{Params: sim.LassenCPU(), Real: true}
+	disabled, overhead, pairRuns, err := obsOverhead(runs, realCompiled, realOpt, executeTraced)
+	if err != nil {
+		return nil, fmt.Errorf("hotpath obs-overhead: %w", err)
+	}
+	rows = append(rows,
+		HotpathRow{Name: "obs-disabled", MS: disabled, Runs: pairRuns},
+		HotpathRow{Name: "obs-overhead", MS: overhead, Runs: pairRuns},
+	)
 	return rows, nil
+}
+
+// obsOverhead measures the wall-time cost of live tracing on the real-execute
+// path: the cold-execute-real workload with obs.SetDisabled(true) (the kill
+// switch — every obs.Start no-ops) versus the same workload under an active
+// span tree, exactly what a traced /v1/run records.
+//
+// The gate on these rows demands <=2%, far below ambient-load noise when the
+// two sides are timed in separate passes, so the measurement is paired: each
+// attempt times a back-to-back block of each variant under the same load, and
+// the overhead estimate is the lower-quartile per-attempt delta (clamped at
+// zero). A genuine constant instrumentation cost shifts the entire delta
+// distribution, quartile included; load waves only add positive outliers,
+// which the low quartile ignores. Reported per execution, so obs-disabled is
+// directly comparable to the cold-execute-real row.
+func obsOverhead(runs int, in core.Input, opt legion.Options,
+	executeTraced func(core.Input, legion.Options) func() error) (disabledMS, overheadMS float64, attempts int, err error) {
+	const block = 4 // executions per timed attempt
+	attempts = max(4*runs, 16)
+	offF := func() error {
+		obs.SetDisabled(true)
+		defer obs.SetDisabled(false)
+		for i := 0; i < block; i++ {
+			prog, err := core.Compile(in)
+			if err != nil {
+				return err
+			}
+			if _, err := legion.Run(prog, opt); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	tracedOnce := executeTraced(in, opt)
+	onF := func() error {
+		for i := 0; i < block; i++ {
+			if err := tracedOnce(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	bestOff := math.Inf(1)
+	deltas := make([]float64, 0, attempts)
+	for i := 0; i < attempts; i++ {
+		t0 := time.Now()
+		if err := offF(); err != nil {
+			return 0, 0, 0, err
+		}
+		off := float64(time.Since(t0).Microseconds()) / 1e3
+		t0 = time.Now()
+		if err := onF(); err != nil {
+			return 0, 0, 0, err
+		}
+		on := float64(time.Since(t0).Microseconds()) / 1e3
+		if off < bestOff {
+			bestOff = off
+		}
+		deltas = append(deltas, on-off)
+	}
+	sort.Float64s(deltas)
+	delta := math.Max(0, deltas[len(deltas)/4])
+	return bestOff / block, (bestOff + delta) / block, attempts, nil
 }
 
 // blockedMatmulRef is the throughput yardstick for cold-execute-real: a

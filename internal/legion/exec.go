@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"distal/internal/machine"
+	"distal/internal/obs"
 	"distal/internal/sim"
 	"distal/internal/tensor"
 )
@@ -229,6 +230,7 @@ type executor struct {
 	batch    int                         // number of problem instances (1 unless Options.Batch)
 	accs     map[accKey]*accumulator
 	accSeq   []*accumulator
+	sp       *obs.Span // the in-progress launch's span (nil outside a traced launch)
 	trace    []CopyRecord
 	candBuf  []*instance // scratch for ensureLocal's candidate collection
 	instSeq  int64       // next transient installation sequence number
@@ -429,6 +431,10 @@ func (e *executor) runRealTasks(l *Launch) error {
 	tasks := e.realTasks
 	if len(tasks) == 0 {
 		return nil
+	}
+	if dsp := e.sp.StartChild("real-drain"); dsp != nil {
+		dsp.SetAttr("tasks", fmt.Sprint(len(tasks)))
+		defer dsp.End()
 	}
 	defer func() {
 		for _, c := range tasks {

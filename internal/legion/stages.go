@@ -6,6 +6,7 @@ import (
 	"runtime"
 
 	"distal/internal/machine"
+	"distal/internal/obs"
 	"distal/internal/sim"
 	"distal/internal/tensor"
 )
@@ -39,6 +40,11 @@ type Handoff struct {
 type Stage struct {
 	Prog    *Program
 	Inherit []Handoff
+	// Label names the stage in traces (typically its output tensor); empty
+	// labels render as the stage index alone.
+	Label string
+	// Repart marks an inserted repartition stage, for trace annotation.
+	Repart bool
 }
 
 // RunStages executes a list of compiled programs as one plan DAG in stage
@@ -103,11 +109,22 @@ func RunStages(ctx context.Context, stages []Stage, opt Options) (*Result, error
 	for si := range stages {
 		st := &stages[si]
 		e.prog = st.Prog
+		_, ssp := obs.Start(ctx, "run-stage")
+		ssp.SetAttr("stage", fmt.Sprint(si))
+		if st.Label != "" {
+			ssp.SetAttr("output", st.Label)
+		}
+		if st.Repart {
+			ssp.SetAttr("repart", "true")
+		}
+		ssp.SetAttr("launches", fmt.Sprint(len(st.Prog.Launches)))
 		if err := e.placeStage(si, st); err != nil {
+			ssp.End()
 			return nil, err
 		}
 		for _, l := range st.Prog.Launches {
 			if err := ctx.Err(); err != nil {
+				ssp.End()
 				return nil, err
 			}
 			ends := make([]float64, e.lg.Size())
@@ -115,7 +132,14 @@ func RunStages(ctx context.Context, stages []Stage, opt Options) (*Result, error
 				copy(ends, e.endHist[n-1]) // leaves without a task keep their last end
 			}
 			e.launchEnds = ends
-			if err := e.runLaunch(l); err != nil {
+			lsp := ssp.StartChild("launch")
+			lsp.SetAttr("name", l.Name)
+			e.sp = lsp
+			err := e.runLaunch(l)
+			e.sp = nil
+			lsp.End()
+			if err != nil {
+				ssp.End()
 				return nil, err
 			}
 			e.endHist = append(e.endHist, ends)
@@ -127,6 +151,7 @@ func RunStages(ctx context.Context, stages []Stage, opt Options) (*Result, error
 			}
 		}
 		e.flushAccumulators()
+		ssp.End()
 	}
 	res := &Result{
 		Time:         e.s.Makespan(),

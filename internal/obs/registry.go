@@ -1,0 +1,389 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a hand-rolled metrics registry: counters, gauges, and
+// fixed-bucket histograms, all goroutine-safe through atomics, with
+// Prometheus text exposition (WriteTo). It exists so the serving stack can
+// expose GET /metrics with zero dependencies; /v1/stats is reimplemented on
+// top of the same registry, so the two surfaces can never disagree.
+//
+// Families register once (repeat registration of the same name returns the
+// existing family — panics on a type or label mismatch, which is a
+// programming error) and label series materialize on first use.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: map[string]*family{}}
+}
+
+type family struct {
+	name, help, typ string
+	labels          []string
+	buckets         []float64 // histograms only
+
+	mu     sync.Mutex
+	series map[string]metric // joined label values -> series
+	order  []string          // insertion order; sorted at exposition
+}
+
+type metric interface {
+	expose(w io.Writer, fam *family, labelValues string)
+}
+
+// atomicFloat is a float64 with atomic add/load via CAS on the bit pattern.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) Load() float64   { return math.Float64frombits(f.bits.Load()) }
+
+// Counter is a monotonically increasing value.
+type Counter struct{ v atomicFloat }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds v; negative deltas are a caller bug and are dropped (counters
+// never go down).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	c.v.Add(v)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v.Load() }
+
+func (c *Counter) expose(w io.Writer, fam *family, lv string) {
+	fmt.Fprintf(w, "%s%s %s\n", fam.name, lv, formatValue(c.v.Load()))
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v atomicFloat }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.v.Store(v) }
+
+// Add adjusts the value by v (negative to decrease).
+func (g *Gauge) Add(v float64) { g.v.Add(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v.Load() }
+
+func (g *Gauge) expose(w io.Writer, fam *family, lv string) {
+	fmt.Fprintf(w, "%s%s %s\n", fam.name, lv, formatValue(g.v.Load()))
+}
+
+// Histogram is a fixed-bucket histogram: cumulative bucket counts, a sum,
+// and a total count, all atomic. Buckets are upper bounds in increasing
+// order; the +Inf bucket is implicit.
+type Histogram struct {
+	buckets []float64
+	counts  []atomic.Uint64 // per finite bucket: observations <= bound
+	count   atomic.Uint64
+	sum     atomicFloat
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Linear scan: bucket lists are short (≤ ~20) and the scan is cheaper
+	// than a branchy binary search at that size.
+	for i, b := range h.buckets {
+		if v <= b {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+func (h *Histogram) expose(w io.Writer, fam *family, lv string) {
+	// Per-bucket counts are cumulative in the exposition format.
+	cum := uint64(0)
+	for i, b := range h.buckets {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name, mergeLabel(lv, "le", formatValue(b)), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name, mergeLabel(lv, "le", "+Inf"), h.count.Load())
+	fmt.Fprintf(w, "%s_sum%s %s\n", fam.name, lv, formatValue(h.sum.Load()))
+	fmt.Fprintf(w, "%s_count%s %d\n", fam.name, lv, h.count.Load())
+}
+
+// funcMetric evaluates at scrape time: the bridge for values owned
+// elsewhere (session cache counters, uptime) so /metrics and /v1/stats read
+// one source of truth.
+type funcMetric struct{ fn func() float64 }
+
+func (f funcMetric) expose(w io.Writer, fam *family, lv string) {
+	fmt.Fprintf(w, "%s%s %s\n", fam.name, lv, formatValue(f.fn()))
+}
+
+// register returns the family for name, creating it on first use and
+// validating shape on repeats.
+func (r *Registry) register(name, help, typ string, labels []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.typ != typ || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %s(%v), was %s(%v)", name, typ, labels, f.typ, f.labels))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("obs: metric %s re-registered with labels %v, was %v", name, labels, f.labels))
+			}
+		}
+		return f
+	}
+	f := &family{name: name, help: help, typ: typ, labels: labels, buckets: buckets, series: map[string]metric{}}
+	r.fams[name] = f
+	return f
+}
+
+// get returns the series for the label values, creating it with mk on first
+// use.
+func (f *family) get(labelValues []string, mk func() metric) metric {
+	if len(labelValues) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s wants %d label values, got %d", f.name, len(f.labels), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.series[key]; ok {
+		return m
+	}
+	m := mk()
+	f.series[key] = m
+	f.order = append(f.order, key)
+	return m
+}
+
+// Counter returns the counter name{labels=labelValues}, registering the
+// family on first use.
+func (r *Registry) Counter(name, help string, labels []string, labelValues ...string) *Counter {
+	f := r.register(name, help, "counter", labels, nil)
+	return f.get(labelValues, func() metric { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns the gauge name{labels=labelValues}.
+func (r *Registry) Gauge(name, help string, labels []string, labelValues ...string) *Gauge {
+	f := r.register(name, help, "gauge", labels, nil)
+	return f.get(labelValues, func() metric { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns the histogram name{labels=labelValues} with the given
+// bucket upper bounds (strictly increasing; +Inf implicit). All series of a
+// family share the first registration's buckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels []string, labelValues ...string) *Histogram {
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %s buckets must increase strictly: %v", name, buckets))
+		}
+	}
+	f := r.register(name, help, "histogram", labels, buckets)
+	return f.get(labelValues, func() metric {
+		return &Histogram{buckets: f.buckets, counts: make([]atomic.Uint64, len(f.buckets))}
+	}).(*Histogram)
+}
+
+// CounterFunc registers a counter whose value is read by fn at scrape time —
+// for monotonic values owned elsewhere (e.g. the session's cache hit count).
+func (r *Registry) CounterFunc(name, help string, labels []string, fn func() float64, labelValues ...string) {
+	f := r.register(name, help, "counter", labels, nil)
+	f.get(labelValues, func() metric { return funcMetric{fn: fn} })
+}
+
+// GaugeFunc registers a gauge read by fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, labels []string, fn func() float64, labelValues ...string) {
+	f := r.register(name, help, "gauge", labels, nil)
+	f.get(labelValues, func() metric { return funcMetric{fn: fn} })
+}
+
+// Each calls fn for every series of the named family with its label values
+// and current value (Func series evaluate at the call; histograms report
+// their observation count). It is how /v1/stats reads the same numbers
+// /metrics exposes. Unknown families visit nothing.
+func (r *Registry) Each(name string, fn func(labelValues []string, value float64)) {
+	r.mu.Lock()
+	f, ok := r.fams[name]
+	r.mu.Unlock()
+	if !ok {
+		return
+	}
+	f.mu.Lock()
+	keys := append([]string(nil), f.order...)
+	series := make([]metric, len(keys))
+	for i, k := range keys {
+		series[i] = f.series[k]
+	}
+	f.mu.Unlock()
+	for i, k := range keys {
+		var v float64
+		switch m := series[i].(type) {
+		case *Counter:
+			v = m.Value()
+		case *Gauge:
+			v = m.Value()
+		case *Histogram:
+			v = float64(m.Count())
+		case funcMetric:
+			v = m.fn()
+		}
+		var lv []string
+		if k != "" || len(f.labels) > 0 {
+			lv = strings.Split(k, "\x00")
+		}
+		fn(lv, v)
+	}
+}
+
+// WriteTo writes the registry in Prometheus text exposition format (version
+// 0.0.4): families sorted by name, series sorted by label values, HELP and
+// TYPE lines once per family.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.fams[name])
+	}
+	r.mu.Unlock()
+
+	cw := &countWriter{w: w}
+	for _, f := range fams {
+		f.mu.Lock()
+		keys := append([]string(nil), f.order...)
+		series := make([]metric, len(keys))
+		sort.Strings(keys)
+		for i, k := range keys {
+			series[i] = f.series[k]
+		}
+		f.mu.Unlock()
+		if len(keys) == 0 {
+			continue
+		}
+		fmt.Fprintf(cw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(cw, "# TYPE %s %s\n", f.name, f.typ)
+		for i, key := range keys {
+			lv := renderLabels(f.labels, strings.Split(key, "\x00"))
+			series[i].expose(cw, f, lv)
+		}
+		if cw.err != nil {
+			return cw.n, cw.err
+		}
+	}
+	return cw.n, cw.err
+}
+
+type countWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return n, err
+}
+
+// renderLabels renders {a="x",b="y"}, or "" for label-less series.
+func renderLabels(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, name := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// mergeLabel appends one label pair to an already-rendered label set (the
+// histogram "le" label).
+func mergeLabel(rendered, name, value string) string {
+	pair := name + `="` + escapeLabel(value) + `"`
+	if rendered == "" {
+		return "{" + pair + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + pair + "}"
+}
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatValue renders a sample value: integral floats print without
+// exponent or decimal point (counter-friendly), the rest in Go's shortest
+// round-trip form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Standard bucket bounds, pinned by the golden exposition test.
+var (
+	// LatencyBuckets covers request and phase latencies from 100µs to 10s.
+	LatencyBuckets = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+		0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+	// SizeBuckets covers batch sizes (powers of two up to the serve cap).
+	SizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
+)

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"distal"
+	"distal/internal/obs"
 	"distal/internal/tensor"
 	"distal/internal/wire"
 )
@@ -48,10 +49,6 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	s.requests.Add(1)
-	s.inflight.Add(1)
-	defer s.inflight.Add(-1)
-
 	mt, ok := s.contentType(w, r, wire.ContentTypeRun, "application/json")
 	if !ok {
 		return
@@ -128,6 +125,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		cached   bool
 		output   string
 		compile  time.Duration
+		stages   []wire.StageInfo
 		runBatch func(surviving [][]*distal.Tensor) ([]*tensor.Dense, *distal.Result, error)
 	)
 	if len(q.Stmts) > 0 {
@@ -158,6 +156,16 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 		st := pp.Stats()
 		planKey, cached, output, compile = pp.Key(), st.Cached, pp.Output(), st.CompileTime
+		for _, sm := range pp.StageMetas() {
+			stages = append(stages, wire.StageInfo{
+				Output:   sm.Output,
+				PlanKey:  sm.PlanKey,
+				Cached:   sm.Cached,
+				Repart:   sm.Repart,
+				Launches: sm.Launches,
+				Points:   sm.Points,
+			})
+		}
 		runBatch = func(surviving [][]*distal.Tensor) ([]*tensor.Dense, *distal.Result, error) {
 			bb := pp.BindBatch(surviving...)
 			results, err := bb.Run(ctx)
@@ -224,6 +232,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// but disagrees with the declared shape is fully consumed — the stream
 	// stays in sync — so only its instance fails; a malformed or truncated
 	// frame desynchronizes the stream and fails the whole request.
+	_, dsp := obs.Start(ctx, "decode-frames")
 	instBinds := make([][]*distal.Tensor, batch)
 	instErrs := make([]error, batch)
 	for i := 0; i < batch; i++ {
@@ -243,6 +252,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 					if batched {
 						at = fmt.Sprintf("decoding frame for %s (instance %d)", name, i)
 					}
+					dsp.End()
 					s.writeError(w, &distal.Error{Kind: distal.KindParse, Op: "run",
 						Err: fmt.Errorf("%s: %w", at, err)})
 					return
@@ -258,6 +268,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			} else {
 				data = tensor.New(name, shape...)
 				if err := wire.ApplyFillInstance(data, q.Inputs[name], i); err != nil {
+					dsp.End()
 					s.writeError(w, &distal.Error{Kind: distal.KindParse, Op: "run", Err: err})
 					return
 				}
@@ -273,11 +284,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		// bytes mean the client and server disagree about the frame set.
 		var probe [1]byte
 		if n, _ := io.ReadFull(body, probe[:]); n != 0 {
+			dsp.End()
 			s.writeError(w, &distal.Error{Kind: distal.KindInput, Op: "run",
 				Err: errors.New("trailing data after the last declared wire frame")})
 			return
 		}
 	}
+	dsp.End()
 
 	// Execute the surviving instances in one launch walk. When every
 	// instance failed (which includes the single-instance path's only
@@ -292,11 +305,21 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, instErrs[0])
 		return
 	}
+	ectx, esp := obs.Start(ctx, "execute")
+	ctx = ectx
+	esp.SetAttr("instances", strconv.Itoa(len(surviving)))
+	t0 := time.Now()
 	outs, res, err := runBatch(surviving)
+	esp.End()
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
+	s.phaseCompile.Observe(compile.Seconds())
+	s.phaseExecute.Observe(time.Since(t0).Seconds())
+	s.batchSize.Observe(float64(len(surviving)))
+	s.bytesIntra.Add(float64(res.IntraBytes))
+	s.bytesInter.Add(float64(res.InterBytes))
 
 	stats := wire.RunStats{
 		PlanKey:      planKey,
@@ -309,6 +332,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		InterBytes:   res.InterBytes,
 		PeakMemBytes: res.PeakMemBytes,
 		CompileMS:    float64(compile) / float64(time.Millisecond),
+		Stages:       stages,
 	}
 	stats.SetHeaders(w.Header())
 	if batched {
@@ -340,6 +364,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// the response is chunked transfer with no whole-result buffering. A
 	// batched response concatenates the surviving instances' frames in
 	// instance order.
+	_, rsp := obs.Start(ctx, "stream-response")
+	defer rsp.End()
 	fw := &flushWriter{w: w}
 	for _, out := range outs {
 		if err := wire.Encode(fw, out); err != nil {

@@ -16,22 +16,36 @@
 //	                  tensors in, the computed output tensor streamed back
 //	                  (see run.go and internal/wire)
 //	GET  /v1/stats    cache + server counters
+//	GET  /metrics     the same counters (and more) in Prometheus text format
+//	GET  /v1/trace/{id}  one recent request's span tree as Chrome trace_event
+//	                  JSON (open in chrome://tracing or Perfetto)
+//
+// Every request gets a request id: generated server-side, or echoed from a
+// client-supplied Distal-Request-Id header. The id keys the request's span
+// tree in a bounded ring of recent traces, served by GET /v1/trace/{id}.
+// /v1/stats and /metrics read the same obs.Registry (the session cache
+// counters through scrape-time Func series), so the two surfaces can never
+// disagree.
 package serve
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"mime"
+	"net"
 	"net/http"
+	"os"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"distal"
+	"distal/internal/obs"
+	"distal/internal/wire"
 )
 
 // Config bounds the server.
@@ -62,6 +76,13 @@ type Config struct {
 	// tune evaluates up to budget compile+simulate cycles on one worker
 	// slot). Default 256.
 	MaxTuneBudget int
+	// TraceRing is how many finished request traces GET /v1/trace/{id} can
+	// serve before the oldest is evicted. Default 64.
+	TraceRing int
+	// LogJSON emits one JSON access-log line per request to LogWriter.
+	LogJSON bool
+	// LogWriter receives access-log lines; nil means os.Stderr.
+	LogWriter io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -89,8 +110,33 @@ func (c Config) withDefaults() Config {
 	if c.MaxTuneBudget <= 0 {
 		c.MaxTuneBudget = 256
 	}
+	if c.TraceRing <= 0 {
+		c.TraceRing = 64
+	}
+	if c.LogWriter == nil {
+		c.LogWriter = os.Stderr
+	}
 	return c
 }
+
+// Metric family names and help strings — the /metrics vocabulary. The
+// golden obs test pins the exposition format; CI's smoke greps these names.
+const (
+	mRequests  = "distal_http_requests_total"
+	mFailures  = "distal_http_failures_total"
+	mDuration  = "distal_http_request_duration_seconds"
+	mQueueWait = "distal_queue_wait_seconds"
+	mInflight  = "distal_inflight_requests"
+	mPhase     = "distal_phase_duration_seconds"
+	mBatchSize = "distal_run_batch_size"
+	mBytes     = "distal_bytes_moved_total"
+	mCacheHit  = "distal_plan_cache_hits_total"
+	mCacheMiss = "distal_plan_cache_misses_total"
+	mCacheLen  = "distal_plan_cache_entries"
+	mMemoLen   = "distal_plan_cache_memo_entries"
+	mUptime    = "distal_uptime_seconds"
+	mWorkers   = "distal_workers"
+)
 
 // Server serves a Session over HTTP. It is an http.Handler.
 type Server struct {
@@ -100,31 +146,175 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
-	requests atomic.Int64
-	failures atomic.Int64
-	inflight atomic.Int64
-	byKind   [distal.KindCanceled + 1]atomic.Int64
+	reg    *obs.Registry
+	traces *obs.Ring
+
+	inflight     *obs.Gauge
+	queueWait    *obs.Histogram
+	phaseCompile *obs.Histogram
+	phaseExecute *obs.Histogram
+	batchSize    *obs.Histogram
+	bytesIntra   *obs.Counter
+	bytesInter   *obs.Counter
+
+	logMu sync.Mutex
 }
 
 // New builds a server over the session.
 func New(sess *distal.Session, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		sess:  sess,
-		cfg:   cfg,
-		sem:   make(chan struct{}, cfg.Workers),
-		mux:   http.NewServeMux(),
-		start: time.Now(),
+		sess:   sess,
+		cfg:    cfg,
+		sem:    make(chan struct{}, cfg.Workers),
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
+		reg:    obs.NewRegistry(),
+		traces: obs.NewRing(cfg.TraceRing),
 	}
-	s.mux.HandleFunc("/v1/execute", s.handleExecute)
-	s.mux.HandleFunc("/v1/batch", s.handleBatch)
-	s.mux.HandleFunc("/v1/tune", s.handleTune)
-	s.mux.HandleFunc("/v1/run", s.handleRun)
+	s.inflight = s.reg.Gauge(mInflight, "Requests currently being handled.", nil)
+	s.queueWait = s.reg.Histogram(mQueueWait, "Wait for a worker-pool slot.", obs.LatencyBuckets, nil)
+	s.phaseCompile = s.reg.Histogram(mPhase, "Pipeline phase durations.", obs.LatencyBuckets, []string{"phase"}, "compile")
+	s.phaseExecute = s.reg.Histogram(mPhase, "Pipeline phase durations.", obs.LatencyBuckets, []string{"phase"}, "execute")
+	s.batchSize = s.reg.Histogram(mBatchSize, "Executed /v1/run batch sizes.", obs.SizeBuckets, nil)
+	s.bytesIntra = s.reg.Counter(mBytes, "Simulated bytes moved by runs.", []string{"class"}, "intra")
+	s.bytesInter = s.reg.Counter(mBytes, "Simulated bytes moved by runs.", []string{"class"}, "inter")
+	// The cache families read the session's counters at scrape time: one
+	// source of truth for /metrics and /v1/stats.
+	s.reg.CounterFunc(mCacheHit, "Plan-cache hits (memo, cache, and shared flights).", nil,
+		func() float64 { return float64(sess.CacheStats().Hits) })
+	s.reg.CounterFunc(mCacheMiss, "Plan-cache misses (compiler runs).", nil,
+		func() float64 { return float64(sess.CacheStats().Misses) })
+	s.reg.GaugeFunc(mCacheLen, "Cached plans resident.", nil,
+		func() float64 { return float64(sess.CacheStats().Entries) })
+	s.reg.GaugeFunc(mMemoLen, "Request-memo entries resident.", nil,
+		func() float64 { return float64(sess.CacheStats().MemoEntries) })
+	s.reg.GaugeFunc(mUptime, "Seconds since server start.", nil,
+		func() float64 { return time.Since(s.start).Seconds() })
+	s.reg.GaugeFunc(mWorkers, "Worker-pool size.", nil,
+		func() float64 { return float64(cfg.Workers) })
+
+	s.mux.HandleFunc("/v1/execute", s.instrument("/v1/execute", s.handleExecute))
+	s.mux.HandleFunc("/v1/batch", s.instrument("/v1/batch", s.handleBatch))
+	s.mux.HandleFunc("/v1/tune", s.instrument("/v1/tune", s.handleTune))
+	s.mux.HandleFunc("/v1/run", s.instrument("/v1/run", s.handleRun))
+	// The read-only surfaces are not instrumented: a monitoring poll must
+	// never move the counters it is reading.
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
 	return s
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Registry exposes the server's metrics registry (tests and embedders).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// statusWriter threads per-request observability state through the handler:
+// it captures the response status and the failure kind for the access log
+// and failure counters, and forwards Flush/Hijack so the /v1/run streaming
+// path behaves exactly as on the bare ResponseWriter.
+type statusWriter struct {
+	http.ResponseWriter
+	endpoint string
+	status   int
+	kind     string // failure kind recorded by countErr, "" on success
+}
+
+func (sw *statusWriter) WriteHeader(status int) {
+	if sw.status == 0 {
+		sw.status = status
+	}
+	sw.ResponseWriter.WriteHeader(status)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(p)
+}
+
+func (sw *statusWriter) Flush() {
+	if fl, ok := sw.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+func (sw *statusWriter) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	if hj, ok := sw.ResponseWriter.(http.Hijacker); ok {
+		return hj.Hijack()
+	}
+	return nil, nil, fmt.Errorf("serve: underlying ResponseWriter does not support hijacking")
+}
+
+// instrument wraps a handler with the per-request observability envelope:
+// request id (generated, or echoed from Distal-Request-Id), a trace rooted
+// at the endpoint name and published to the trace ring, request/latency
+// metrics, and the optional JSON access-log line.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	reqs := s.reg.Counter(mRequests, "Requests by endpoint.", []string{"endpoint"}, endpoint)
+	dur := s.reg.Histogram(mDuration, "Request wall time by endpoint.", obs.LatencyBuckets, []string{"endpoint"}, endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		reqs.Inc()
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		id := r.Header.Get(wire.HeaderRequestID)
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set(wire.HeaderRequestID, id)
+		tr, ctx := obs.NewTrace(r.Context(), id, endpoint)
+		sw := &statusWriter{ResponseWriter: w, endpoint: endpoint}
+		h(sw, r.WithContext(ctx))
+		tr.Finish()
+		s.traces.Add(tr)
+		elapsed := time.Since(t0)
+		dur.Observe(elapsed.Seconds())
+		s.accessLog(r, sw, id, elapsed, tr)
+	}
+}
+
+// accessLog emits one JSON line per request when Config.LogJSON is set.
+func (s *Server) accessLog(r *http.Request, sw *statusWriter, id string, elapsed time.Duration, tr *obs.Trace) {
+	if !s.cfg.LogJSON {
+		return
+	}
+	status := sw.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	entry := map[string]any{
+		"time":       time.Now().UTC().Format(time.RFC3339Nano),
+		"request_id": id,
+		"endpoint":   sw.endpoint,
+		"method":     r.Method,
+		"status":     status,
+		"elapsed_ms": float64(elapsed) / float64(time.Millisecond),
+	}
+	if sw.kind != "" {
+		entry["kind"] = sw.kind
+	}
+	if sp := tr.Find("compile"); sp != nil {
+		for _, a := range sp.Attrs() {
+			if a.Key == "plan_key" {
+				entry["plan_key"] = a.Val
+			}
+		}
+	}
+	if phases := tr.PhaseMS(); len(phases) > 0 {
+		entry["phases_ms"] = phases
+	}
+	line, err := json.Marshal(entry)
+	if err != nil {
+		return
+	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	s.cfg.LogWriter.Write(append(line, '\n')) //nolint:errcheck — logging is best-effort
+}
 
 // ExecuteRequest is the wire form of one workload: distal.Request plus
 // execution modifiers.
@@ -195,10 +385,25 @@ func statusFor(kind distal.ErrKind) int {
 	}
 }
 
-func (s *Server) countErr(err error) (ErrorBody, int) {
+// countErr records a failure against its endpoint and kind. The endpoint is
+// read from the instrumented writer; direct callers that hold no writer (the
+// batch fan-out) pass their endpoint through countErrAt.
+func (s *Server) countErr(w http.ResponseWriter, err error) (ErrorBody, int) {
+	endpoint := "unknown"
+	if sw, ok := w.(*statusWriter); ok {
+		endpoint = sw.endpoint
+	}
+	body, status := s.countErrAt(endpoint, err)
+	if sw, ok := w.(*statusWriter); ok {
+		sw.kind = body.Kind
+	}
+	return body, status
+}
+
+func (s *Server) countErrAt(endpoint string, err error) (ErrorBody, int) {
 	kind := distal.KindOf(err)
-	s.failures.Add(1)
-	s.byKind[kind].Add(1)
+	s.reg.Counter(mFailures, "Failed requests by endpoint and error kind.",
+		[]string{"endpoint", "kind"}, endpoint, kind.String()).Inc()
 	return ErrorBody{Kind: kind.String(), Message: err.Error()}, statusFor(kind)
 }
 
@@ -211,14 +416,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func (s *Server) writeError(w http.ResponseWriter, err error) {
-	body, status := s.countErr(err)
+	body, status := s.countErr(w, err)
 	writeJSON(w, status, errorResponse{Error: body})
 }
 
 // writeErrorStatus is writeError with the taxonomy's status mapping
 // overridden (e.g. 415 for a mismatched Content-Type).
 func (s *Server) writeErrorStatus(w http.ResponseWriter, status int, err error) {
-	body, _ := s.countErr(err)
+	body, _ := s.countErr(w, err)
 	writeJSON(w, status, errorResponse{Error: body})
 }
 
@@ -277,8 +482,16 @@ func (s *Server) deadlineFor(parent context.Context, timeoutMS int) (context.Con
 	return context.WithTimeout(parent, d)
 }
 
-// acquire blocks until a worker slot frees or ctx is done.
+// acquire blocks until a worker slot frees or ctx is done. The wait is a
+// span on the request trace and an observation on the queue-wait histogram
+// either way — saturation shows up whether or not the request survives it.
 func (s *Server) acquire(ctx context.Context) error {
+	_, sp := obs.Start(ctx, "queue-wait")
+	t0 := time.Now()
+	defer func() {
+		s.queueWait.Observe(time.Since(t0).Seconds())
+		sp.End()
+	}()
 	select {
 	case s.sem <- struct{}{}:
 		return nil
@@ -332,9 +545,6 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	s.requests.Add(1)
-	s.inflight.Add(1)
-	defer s.inflight.Add(-1)
 	var q ExecuteRequest
 	if !s.decode(w, r, &q) {
 		return
@@ -379,9 +589,6 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	s.requests.Add(1)
-	s.inflight.Add(1)
-	defer s.inflight.Add(-1)
 	var batch BatchRequest
 	if !s.decode(w, r, &batch) {
 		return
@@ -406,14 +613,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			q := &batch.Requests[i]
 			if err := s.acquire(ctx); err != nil {
-				body, _ := s.countErr(err)
+				body, _ := s.countErrAt("/v1/batch", err)
 				out[i] = BatchEntry{Error: &body}
 				return
 			}
 			defer s.release()
 			resp, err := s.run(ctx, q)
 			if err != nil {
-				body, _ := s.countErr(err)
+				body, _ := s.countErrAt("/v1/batch", err)
 				out[i] = BatchEntry{Error: &body}
 				return
 			}
@@ -495,9 +702,6 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	s.requests.Add(1)
-	s.inflight.Add(1)
-	defer s.inflight.Add(-1)
 	var q TuneRequest
 	if !s.decode(w, r, &q) {
 		return
@@ -548,7 +752,9 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// StatsResponse is the /v1/stats payload.
+// StatsResponse is the /v1/stats payload. Every counter is read back from
+// the same obs.Registry /metrics scrapes, so the two surfaces agree by
+// construction.
 type StatsResponse struct {
 	UptimeS  float64 `json:"uptime_s"`
 	Requests int64   `json:"requests"`
@@ -563,6 +769,14 @@ type StatsResponse struct {
 		MemoEntries int   `json:"memo_entries"`
 	} `json:"cache"`
 	ErrorsByKind map[string]int64 `json:"errors_by_kind,omitempty"`
+	// Endpoints breaks requests and failures down per endpoint.
+	Endpoints map[string]EndpointStats `json:"endpoints,omitempty"`
+}
+
+// EndpointStats is one endpoint's request and failure counts.
+type EndpointStats struct {
+	Requests int64 `json:"requests"`
+	Failures int64 `json:"failures,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -573,22 +787,62 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	var resp StatsResponse
 	resp.UptimeS = time.Since(s.start).Seconds()
-	resp.Requests = s.requests.Load()
-	resp.Failures = s.failures.Load()
-	resp.Inflight = s.inflight.Load()
+	resp.Inflight = int64(s.inflight.Value())
 	resp.Workers = s.cfg.Workers
 	cs := s.sess.CacheStats()
 	resp.Cache.Hits = cs.Hits
 	resp.Cache.Misses = cs.Misses
 	resp.Cache.Entries = cs.Entries
 	resp.Cache.MemoEntries = cs.MemoEntries
-	for kind := distal.KindUnknown; kind <= distal.KindCanceled; kind++ {
-		if n := s.byKind[kind].Load(); n > 0 {
-			if resp.ErrorsByKind == nil {
-				resp.ErrorsByKind = map[string]int64{}
-			}
-			resp.ErrorsByKind[kind.String()] = n
+	resp.Endpoints = map[string]EndpointStats{}
+	s.reg.Each(mRequests, func(labels []string, v float64) {
+		ep := resp.Endpoints[labels[0]]
+		ep.Requests += int64(v)
+		resp.Endpoints[labels[0]] = ep
+		resp.Requests += int64(v)
+	})
+	s.reg.Each(mFailures, func(labels []string, v float64) {
+		endpoint, kind := labels[0], labels[1]
+		ep := resp.Endpoints[endpoint]
+		ep.Failures += int64(v)
+		resp.Endpoints[endpoint] = ep
+		resp.Failures += int64(v)
+		if resp.ErrorsByKind == nil {
+			resp.ErrorsByKind = map[string]int64{}
 		}
+		resp.ErrorsByKind[kind] += int64(v)
+	})
+	if len(resp.Endpoints) == 0 {
+		resp.Endpoints = nil
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+// Scrapes are deliberately not instrumented: a monitoring poll never moves
+// the request counters it reads.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WriteTo(w) //nolint:errcheck — a dead scrape connection is the scraper's problem
+}
+
+// handleTrace serves one recent request's finished span tree as Chrome
+// trace_event JSON, keyed by the request id the response carried in
+// Distal-Request-Id. The ring is bounded, so old traces 404 once evicted.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tr := s.traces.Get(r.PathValue("id"))
+	if tr == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: ErrorBody{
+			Kind:    "unknown",
+			Message: fmt.Sprintf("no trace for request id %q (the ring keeps the last %d)", r.PathValue("id"), s.cfg.TraceRing),
+		}})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(tr.TraceEvent()) //nolint:errcheck — streaming best-effort
 }

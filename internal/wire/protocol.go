@@ -2,6 +2,7 @@ package wire
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -49,7 +50,26 @@ const (
 	HeaderInterB    = "Distal-Inter-Bytes"
 	HeaderPeakMemB  = "Distal-Peak-Mem-Bytes"
 	HeaderCompileMS = "Distal-Compile-Ms"
+	// HeaderRequestID carries the request id: generated server-side per
+	// request, echoed back when the client supplies one, and the key of the
+	// server's GET /v1/trace/{id} export.
+	HeaderRequestID = "Distal-Request-Id"
+	// HeaderStages carries a JSON array of StageInfo on multi-statement run
+	// responses: one row per execution stage, repartitions included.
+	HeaderStages = "Distal-Stages"
 )
+
+// StageInfo is one execution stage of a multi-statement run as reported in
+// the HeaderStages response header: static per-stage facts (wall-clock
+// per-stage timings live in the request's trace export instead).
+type StageInfo struct {
+	Output   string `json:"output"`
+	PlanKey  string `json:"plan_key"`
+	Cached   bool   `json:"cached"`
+	Repart   bool   `json:"repart,omitempty"`
+	Launches int    `json:"launches"`
+	Points   int    `json:"points"`
+}
 
 // Batched-run response headers. A batched run (RunRequest.Batch set)
 // answers 200 as long as at least one instance executed: HeaderBatch
@@ -211,6 +231,12 @@ type RunStats struct {
 	InterBytes   int64
 	PeakMemBytes int64
 	CompileMS    float64
+	// RequestID is the server's request id (HeaderRequestID); the serve
+	// middleware owns the header, so SetHeaders writes it only when set.
+	RequestID string
+	// Stages carries the per-stage rows of a multi-statement run; empty on
+	// single-statement runs.
+	Stages []StageInfo
 }
 
 // SetHeaders writes the stats onto an HTTP header block.
@@ -225,6 +251,14 @@ func (s *RunStats) SetHeaders(h http.Header) {
 	h.Set(HeaderInterB, strconv.FormatInt(s.InterBytes, 10))
 	h.Set(HeaderPeakMemB, strconv.FormatInt(s.PeakMemBytes, 10))
 	h.Set(HeaderCompileMS, strconv.FormatFloat(s.CompileMS, 'g', -1, 64))
+	if s.RequestID != "" {
+		h.Set(HeaderRequestID, s.RequestID)
+	}
+	if len(s.Stages) > 0 {
+		if enc, err := json.Marshal(s.Stages); err == nil {
+			h.Set(HeaderStages, string(enc))
+		}
+	}
 }
 
 // StatsFromHeaders parses the stats a response carried (absent or malformed
@@ -238,7 +272,7 @@ func StatsFromHeaders(h http.Header) RunStats {
 		v, _ := strconv.ParseInt(h.Get(name), 10, 64)
 		return v
 	}
-	return RunStats{
+	st := RunStats{
 		PlanKey:      h.Get(HeaderPlanKey),
 		Cached:       h.Get(HeaderCached) == "true",
 		Output:       h.Get(HeaderOutput),
@@ -249,5 +283,10 @@ func StatsFromHeaders(h http.Header) RunStats {
 		InterBytes:   i(HeaderInterB),
 		PeakMemBytes: i(HeaderPeakMemB),
 		CompileMS:    f(HeaderCompileMS),
+		RequestID:    h.Get(HeaderRequestID),
 	}
+	if raw := h.Get(HeaderStages); raw != "" {
+		_ = json.Unmarshal([]byte(raw), &st.Stages) // informational, like the rest
+	}
+	return st
 }

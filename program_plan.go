@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"distal/internal/legion"
+	"distal/internal/obs"
 	"distal/internal/program"
 	"distal/internal/tensor"
 )
@@ -54,6 +55,8 @@ type programStage struct {
 // seen before costs no compiler run at all, and two programs sharing a
 // statement share its plan.
 func (s *Session) CompileProgram(ctx context.Context, req Request) (*ProgramPlan, error) {
+	ctx, sp := obs.Start(ctx, "compile-program")
+	defer sp.End()
 	if err := ctx.Err(); err != nil {
 		return nil, wrapErr(KindCanceled, "compile-program", err)
 	}
@@ -140,12 +143,16 @@ func (s *Session) CompileProgram(ctx context.Context, req Request) (*ProgramPlan
 				freshLeaves = append(freshLeaves, key)
 			}
 		}
-		plan, cerr := s.Compile(ctx, Request{
+		sctx, ssp := obs.Start(ctx, "compile-stage")
+		ssp.SetAttr("statement", fmt.Sprint(st.Index))
+		ssp.SetAttr("output", lhs)
+		plan, cerr := s.Compile(sctx, Request{
 			Stmt:     st.Src.Stmt,
 			Shapes:   stageShapes,
 			Formats:  st.Src.Formats,
 			Schedule: st.Src.Schedule,
 		})
+		ssp.End()
 		if cerr != nil {
 			return nil, &Error{Kind: KindOf(cerr), Op: "compile-program", Err: fmt.Errorf("statement %d: %w", st.Index, cerr)}
 		}
@@ -168,7 +175,7 @@ func (s *Session) CompileProgram(ctx context.Context, req Request) (*ProgramPlan
 	pp := &ProgramPlan{sess: s, prog: prog, stages: built, stats: CompileStats{Cached: true}}
 	h := sha256.New()
 	for _, st := range built {
-		pp.ls = append(pp.ls, legion.Stage{Prog: st.plan.data.prog, Inherit: st.inherit})
+		pp.ls = append(pp.ls, legion.Stage{Prog: st.plan.data.prog, Inherit: st.inherit, Label: st.output, Repart: st.repart})
 		h.Write([]byte(st.plan.key))
 		h.Write([]byte{0})
 		sst := st.plan.stats
@@ -230,6 +237,9 @@ func (s *Session) repartitionStage(ctx context.Context, name string, shape []int
 		vars[0], s.machine.Processors(),
 		strings.Join(append([]string{"d0", "d0i"}, vars[1:]...), ","),
 		rname, name)
+	ctx, rsp := obs.Start(ctx, "compile-repartition")
+	rsp.SetAttr("tensor", name)
+	defer rsp.End()
 	plan, err := s.Compile(ctx, Request{
 		Stmt:     stmt,
 		Shapes:   map[string][]int{name: shape, rname: shape},
@@ -273,6 +283,36 @@ func (p *ProgramPlan) Repartitions() int {
 		}
 	}
 	return n
+}
+
+// StageMeta describes one execution stage of the DAG for reporting surfaces
+// (the serve layer's Distal-Stages header, CLI -v rows): static facts only —
+// per-stage wall time lives in the request trace.
+type StageMeta struct {
+	Output   string
+	PlanKey  string
+	Cached   bool
+	Repart   bool
+	Launches int
+	Points   int
+}
+
+// StageMetas returns one StageMeta per execution stage, repartitions
+// included, in execution order.
+func (p *ProgramPlan) StageMetas() []StageMeta {
+	out := make([]StageMeta, len(p.stages))
+	for i, st := range p.stages {
+		sst := st.plan.Stats()
+		out[i] = StageMeta{
+			Output:   st.output,
+			PlanKey:  st.plan.Key(),
+			Cached:   sst.Cached,
+			Repart:   st.repart,
+			Launches: sst.Launches,
+			Points:   sst.Points,
+		}
+	}
+	return out
 }
 
 // StagePlans returns the per-stage plans in execution order (repartition

@@ -13,6 +13,7 @@ import (
 	"distal/internal/core"
 	"distal/internal/ir"
 	"distal/internal/legion"
+	"distal/internal/obs"
 	"distal/internal/schedule"
 )
 
@@ -422,6 +423,23 @@ func canonicalRequest(req Request) string {
 // the compiling leader is canceled retry instead of inheriting the
 // leader's cancellation.
 func (s *Session) Compile(ctx context.Context, req Request) (*Plan, error) {
+	ctx, sp := obs.Start(ctx, "compile")
+	defer sp.End()
+	plan, err := s.compileFlight(ctx, sp, req)
+	if plan != nil {
+		sp.SetAttr("plan_key", plan.key)
+		if plan.stats.Cached {
+			sp.SetAttr("cache", "hit")
+		} else {
+			sp.SetAttr("cache", "miss")
+		}
+	}
+	return plan, err
+}
+
+// compileFlight is Compile's body: memo lookup, then the singleflight table,
+// then leading a compile of our own.
+func (s *Session) compileFlight(ctx context.Context, sp *obs.Span, req Request) (*Plan, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, wrapErr(KindCanceled, "compile", err)
 	}
@@ -432,16 +450,20 @@ func (s *Session) Compile(ctx context.Context, req Request) (*Plan, error) {
 	ck := canonicalRequest(req)
 	for {
 		if pd, key := s.memoLookup(ck); pd != nil {
+			sp.SetAttr("source", "memo")
 			return &Plan{sess: s, key: key, data: pd, stats: cachedStats(pd, false)}, nil
 		}
 		s.mu.Lock()
 		if fl, ok := s.flights[ck]; ok {
 			s.mu.Unlock()
+			wait := sp.StartChild("singleflight-wait")
 			select {
 			case <-ctx.Done():
+				wait.End()
 				return nil, wrapErr(KindCanceled, "compile", ctx.Err())
 			case <-fl.done:
 			}
+			wait.End()
 			if fl.err != nil {
 				if KindOf(fl.err) == KindCanceled && ctx.Err() == nil {
 					continue // the leader was canceled, not us: retry
@@ -451,12 +473,14 @@ func (s *Session) Compile(ctx context.Context, req Request) (*Plan, error) {
 			s.mu.Lock()
 			s.hits++ // served by the shared flight: no compile ran for us
 			s.mu.Unlock()
+			sp.SetAttr("source", "flight")
 			return &Plan{sess: s, key: fl.key, data: fl.data, stats: cachedStats(fl.data, true)}, nil
 		}
 		fl := &flight{done: make(chan struct{})}
 		s.flights[ck] = fl
 		s.mu.Unlock()
 
+		sp.SetAttr("flight", "lead")
 		return s.lead(ctx, ck, req, fl)
 	}
 }
@@ -503,7 +527,9 @@ func (s *Session) compileRequest(ctx context.Context, ck string, req Request) (*
 		return &Plan{sess: s, key: key, data: pd, stats: cachedStats(pd, false)}, nil
 	}
 	start := time.Now()
+	_, run := obs.Start(ctx, "compiler-run")
 	prog, err := core.CompileContext(ctx, in)
+	run.End()
 	if err != nil {
 		return nil, wrapErr(KindCompile, "compile", err)
 	}
